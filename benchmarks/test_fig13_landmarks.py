@@ -1,0 +1,23 @@
+"""Figure 13: number of landmarks and their separation."""
+
+from repro.bench import fig13a_landmark_count, fig13b_landmark_separation
+
+
+def test_fig13a_landmark_count(benchmark):
+    rows = benchmark.pedantic(fig13a_landmark_count, rounds=1, iterations=1)
+    embed_ms = {row[0]: row[1] for row in rows}
+    hash_ms = rows[0][3]
+    # More landmarks help: 96 landmarks beat 4, and beat the hash baseline.
+    assert embed_ms[96] <= embed_ms[4] * 1.02
+    assert embed_ms[96] < hash_ms
+
+
+def test_fig13b_landmark_separation(benchmark):
+    rows = benchmark.pedantic(fig13b_landmark_separation, rounds=1,
+                              iterations=1)
+    hash_ms = rows[0][3]
+    # Separation has no dramatic influence (paper): every setting keeps
+    # smart routing ahead of hash.
+    for _separation, embed_ms, landmark_ms, _hash in rows:
+        assert embed_ms < hash_ms
+        assert landmark_ms < hash_ms * 1.1

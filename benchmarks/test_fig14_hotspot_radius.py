@@ -1,0 +1,18 @@
+"""Figure 14: r-hop hotspot workloads (r = 1, 2), 2-hop traversals."""
+
+from repro.bench import fig14_hotspot_radius
+
+
+def test_fig14_hotspot_radius(benchmark):
+    result = benchmark.pedantic(fig14_hotspot_radius, rounds=1, iterations=1)
+    response = {(row[0], row[1]): row[2] for row in result["response"]}
+    cache = {(row[0], row[1]): (row[2], row[3]) for row in result["cache"]}
+    for radius in ("1-hop", "2-hop"):
+        # Smart routing beats the baselines, which beat no-cache.
+        assert response[(radius, "embed")] < response[(radius, "hash")]
+        assert response[(radius, "landmark")] < response[(radius, "next_ready")]
+        assert response[(radius, "hash")] < response[(radius, "no_cache")]
+        # And it earns that with strictly more cache hits.
+        assert cache[(radius, "embed")][0] > cache[(radius, "hash")][0]
+    # Tighter hotspots (r=1) overlap more, so smart routing hits more.
+    assert cache[("1-hop", "embed")][0] >= cache[("2-hop", "embed")][0] * 0.9

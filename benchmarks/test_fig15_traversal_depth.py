@@ -1,0 +1,20 @@
+"""Figure 15: traversal depth h = 1, 2, 3 (2-hop hotspots)."""
+
+from repro.bench import fig15_traversal_depth
+
+
+def test_fig15_traversal_depth(benchmark):
+    rows = benchmark.pedantic(fig15_traversal_depth, rounds=1, iterations=1)
+    response = {(row[0], row[1]): row[2] for row in rows}
+    # Deeper traversals cost more for every scheme.
+    for scheme in ("no_cache", "hash", "embed"):
+        assert response[(3, scheme)] > response[(1, scheme)]
+    # Smart routing wins at every depth ...
+    for hops in (1, 2, 3):
+        assert response[(hops, "embed")] < response[(hops, "no_cache")]
+    # ... but the smart-over-baseline advantage narrows at h=3: deep
+    # traversals touch so much shared data that even cache-oblivious
+    # routing hits, and compute grows for everyone (§4.7).
+    gap2 = response[(2, "hash")] / response[(2, "embed")]
+    gap3 = response[(3, "hash")] / response[(3, "embed")]
+    assert gap3 < gap2

@@ -1,0 +1,22 @@
+"""Figure 16: Memetracker and Friendster, 2-hop hotspot / 2-hop traversal."""
+
+from repro.bench import fig16_other_datasets
+
+
+def test_fig16_other_datasets(benchmark):
+    rows = benchmark.pedantic(fig16_other_datasets, rounds=1, iterations=1)
+    response = {(row[0], row[1]): row[2] for row in rows}
+    hit_rate = {(row[0], row[1]): row[3] for row in rows}
+    for dataset in ("memetracker", "friendster"):
+        # On Friendster the smart-over-baseline edge is tiny (paper: ~3%),
+        # so allow embed ~= hash there.
+        assert response[(dataset, "embed")] <= response[(dataset, "hash")] * 1.05
+        assert response[(dataset, "hash")] <= response[(dataset, "no_cache")] * 1.05
+    # Fig 16(b)'s point: caching helps Friendster much less than the
+    # webgraph-style datasets — its relative no-cache -> embed saving is
+    # smaller than Memetracker's.
+    meme_gain = 1 - response[("memetracker", "embed")] / response[("memetracker", "no_cache")]
+    friend_gain = 1 - response[("friendster", "embed")] / response[("friendster", "no_cache")]
+    assert friend_gain < meme_gain
+    # Friendster's hotspots overlap less: lower smart-routing hit rate.
+    assert hit_rate[("friendster", "embed")] < hit_rate[("memetracker", "embed")]

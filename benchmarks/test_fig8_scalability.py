@@ -1,0 +1,43 @@
+"""Figure 8: processing-tier and storage-tier scalability, WebGraph."""
+
+from repro.bench import (
+    SCHEMES,
+    fig8a_processor_scaling,
+    fig8b_cache_hits,
+    fig8c_storage_scaling,
+)
+
+
+def test_fig8a_processor_scaling(benchmark):
+    rows = benchmark.pedantic(fig8a_processor_scaling, rounds=1, iterations=1)
+    columns = {s: i + 1 for i, s in enumerate(SCHEMES)}
+    first, last = rows[0], rows[-1]
+    # Embed scales: 7 processors give much more throughput than 1 ...
+    assert last[columns["embed"]] > 3 * first[columns["embed"]]
+    # ... and beat every baseline at 7 processors.
+    assert last[columns["embed"]] >= last[columns["hash"]]
+    assert last[columns["embed"]] >= last[columns["next_ready"]]
+
+
+def test_fig8b_cache_hits(benchmark):
+    rows = benchmark.pedantic(fig8b_cache_hits, rounds=1, iterations=1)
+    schemes = SCHEMES[1:]
+    columns = {s: i + 1 for i, s in enumerate(schemes)}
+    first, last = rows[0], rows[-1]
+    # All schemes tie at 1 processor (single shared cache).
+    assert first[columns["hash"]] == first[columns["embed"]]
+    # Hits degrade with processor count for hash; embed sustains far more.
+    assert last[columns["hash"]] < first[columns["hash"]]
+    assert last[columns["embed"]] > 1.3 * last[columns["hash"]]
+    # Embed stays within a modest factor of its single-processor hits.
+    assert last[columns["embed"]] > 0.6 * first[columns["embed"]]
+
+
+def test_fig8c_storage_scaling(benchmark):
+    rows = benchmark.pedantic(fig8c_storage_scaling, rounds=1, iterations=1)
+    columns = {s: i + 1 for i, s in enumerate(SCHEMES)}
+    by_count = {row[0]: row for row in rows}
+    # 1 storage server cannot feed 4 processors; 4 servers can.
+    assert by_count[4][columns["no_cache"]] > 1.5 * by_count[1][columns["no_cache"]]
+    # Saturation: going 4 -> 7 servers helps little (bottleneck moved).
+    assert by_count[7][columns["embed"]] < 1.4 * by_count[4][columns["embed"]]

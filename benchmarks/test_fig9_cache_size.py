@@ -1,0 +1,21 @@
+"""Figure 9: impact of cache capacity (response time, hits, break-even)."""
+
+from repro.bench import fig9_cache_capacity
+
+
+def test_fig9_cache_capacity(benchmark):
+    result = benchmark.pedantic(fig9_cache_capacity, rounds=1, iterations=1)
+    response = result["response"]
+    schemes = ("next_ready", "hash", "landmark", "embed")
+    columns = {s: i + 1 for i, s in enumerate(schemes)}
+    smallest, largest = response[0], response[-1]
+    # Tiny caches are worse than big caches for every scheme.
+    for scheme in schemes:
+        assert smallest[columns[scheme]] > largest[columns[scheme]]
+    # Smart routing reaches the break-even point with less cache than the
+    # baselines (Fig 9c): where both break even, embed's capacity <= hash's.
+    break_even = {row[0]: row[1] for row in result["break_even"]}
+    if isinstance(break_even["embed"], int) and isinstance(break_even["hash"], int):
+        assert break_even["embed"] <= break_even["hash"]
+    # With a large cache, smart routing beats the baselines.
+    assert largest[columns["embed"]] < largest[columns["next_ready"]]

@@ -1,0 +1,13 @@
+"""Table 1: dataset analogues and their sizes."""
+
+from repro.bench import table1_datasets
+
+
+def test_table1_datasets(benchmark):
+    rows = benchmark.pedantic(table1_datasets, rounds=1, iterations=1)
+    assert len(rows) == 4
+    by_name = {row[0]: row for row in rows}
+    # Shape: webgraph is the largest dataset by record bytes; freebase is
+    # the sparsest (edges < nodes), matching the paper's Table 1 ordering.
+    assert by_name["freebase"][2] < by_name["freebase"][1]
+    assert by_name["webgraph"][3] == max(row[3] for row in rows)

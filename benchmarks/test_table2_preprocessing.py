@@ -1,0 +1,20 @@
+"""Tables 2 and 3: preprocessing time and storage."""
+
+from repro.bench import table2_preprocessing, table3_storage
+
+
+def test_table2_preprocessing(benchmark):
+    rows = benchmark.pedantic(table2_preprocessing, rounds=1, iterations=1)
+    phases = {row[0] for row in rows}
+    assert "landmark BFS" in phases
+    assert any("embed nodes" in p for p in phases)
+
+
+def test_table3_storage(benchmark):
+    rows = benchmark.pedantic(table3_storage, rounds=1, iterations=1)
+    sizes = {row[0]: row[1] for row in rows}
+    # Paper Table 3 shape: both preprocessed structures are a small
+    # fraction of the original graph.
+    graph = sizes["original graph (records)"]
+    assert sizes["landmark d(u,p) table"] < 0.5 * graph
+    assert sizes["embedding coordinates"] < 0.7 * graph

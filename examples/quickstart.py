@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: build a decoupled cluster and compare routing strategies.
+
+Builds a web-graph analogue, generates the paper's hotspot workload, and
+runs the same queries through all five routing schemes on one simulated
+cluster layout (1 router + 7 query processors + 4 storage servers).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, GRoutingCluster, GraphAssets
+from repro.datasets import webgraph_like
+from repro.workloads import hotspot_workload
+
+SCHEMES = ("no_cache", "next_ready", "hash", "landmark", "embed")
+
+
+def main() -> None:
+    print("Building the WebGraph analogue ...")
+    graph = webgraph_like(scale=0.3, seed=1)
+    assets = GraphAssets(graph)  # shared, reusable preprocessing
+    print(f"  {graph.num_nodes:,} nodes, {graph.num_edges:,} edges")
+
+    print("Generating the hotspot workload (40 hotspots x 10 queries) ...")
+    queries = hotspot_workload(
+        graph,
+        num_hotspots=40,
+        queries_per_hotspot=10,
+        radius=2,
+        hops=2,
+        seed=7,
+        csr=assets.csr_both,
+    )
+
+    print(f"Running {len(queries)} queries under each routing scheme:\n")
+    header = (f"{'scheme':>12} | {'throughput':>12} | {'response':>10} | "
+              f"{'hit rate':>8} | {'stolen':>6}")
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEMES:
+        config = ClusterConfig(
+            routing=scheme,
+            num_processors=7,
+            num_storage_servers=4,
+            cache_capacity_bytes=8 << 20,
+            embed_method="lmds",
+        )
+        cluster = GRoutingCluster(graph, config, assets=assets)
+        report = cluster.run(queries)
+        print(
+            f"{scheme:>12} | {report.throughput():>10.0f}/s | "
+            f"{report.mean_response_time() * 1e6:>8.1f}us | "
+            f"{report.cache_hit_rate():>8.3f} | "
+            f"{report.stolen_count():>6}"
+        )
+
+    print(
+        "\nSmart routing (landmark/embed) sends queries on nearby nodes to "
+        "the same\nprocessor, so its cache already holds most of each "
+        "neighbourhood — fewer\nstorage-tier round trips, lower response "
+        "time, higher throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

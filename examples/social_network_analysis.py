@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Ego-centric queries on a social network with a shifting hotspot.
+
+Models the paper's motivating LinkedIn scenario (§1): ego-centric queries
+("who is within 2 hops of this member?") concentrated around trending
+profiles, where the trending region moves over time. Embed routing adapts
+its per-processor EMA to each new hotspot without any re-partitioning —
+the experiment shows cache hit rate recovering after every shift.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, GRoutingCluster, GraphAssets
+from repro.core import NeighborAggregationQuery, RandomWalkQuery
+from repro.graph import community_graph
+
+
+def shifting_hotspot_workload(assets, phases=4, regions_per_phase=10,
+                              queries_per_region=12, seed=3):
+    """Each phase interleaves queries over a fresh set of trending regions.
+
+    Interleaving is what separates the schemes: hash routing sprays every
+    region across the whole tier, while embed routing pins each region to
+    one processor's cache.
+    """
+    rng = np.random.default_rng(seed)
+    csr = assets.csr_both
+    eligible = np.flatnonzero(csr.degrees() > 0)
+    workload = []
+    for _phase in range(phases):
+        balls = []
+        for _ in range(regions_per_phase):
+            center = int(eligible[rng.integers(0, eligible.size)])
+            ball = np.flatnonzero(csr.bfs_distances([center], max_hops=2) >= 0)
+            balls.append(csr.node_ids[ball])
+        for i in range(queries_per_region):
+            for ball_ids in balls:  # round-robin across trending regions
+                node = int(ball_ids[rng.integers(0, ball_ids.size)])
+                if i % 3 == 2:
+                    workload.append(RandomWalkQuery(
+                        node=node, steps=2, seed=int(rng.integers(2**31))))
+                else:
+                    workload.append(NeighborAggregationQuery(node=node, hops=2))
+    return workload
+
+
+def main() -> None:
+    print("Building a community-structured social network ...")
+    graph = community_graph(150, 130, intra_degree=8, inter_degree=0.4,
+                            seed=2)
+    assets = GraphAssets(graph)
+    print(f"  {graph.num_nodes:,} members, {graph.num_edges:,} links")
+
+    queries = shifting_hotspot_workload(assets)
+    phases = 4
+    per_phase = len(queries) // phases
+    print(f"Workload: {phases} trending phases x {per_phase} queries "
+          f"(10 interleaved regions each)\n")
+
+    for scheme in ("hash", "embed"):
+        config = ClusterConfig(
+            routing=scheme,
+            num_processors=7,
+            num_storage_servers=4,
+            cache_capacity_bytes=8 << 20,
+            embed_method="lmds",
+            num_landmarks=48,
+        )
+        cluster = GRoutingCluster(graph, config, assets=assets)
+        report = cluster.run(queries)
+        print(f"--- {scheme} routing ---")
+        for phase in range(phases):
+            chunk = report.records[phase * per_phase:(phase + 1) * per_phase]
+            hits = sum(r.stats.cache_hits for r in chunk)
+            misses = sum(r.stats.cache_misses for r in chunk)
+            rate = hits / (hits + misses) if hits + misses else 0.0
+            mean_us = float(np.mean([r.response_time for r in chunk])) * 1e6
+            print(f"  phase {phase + 1}: hit rate {rate:5.3f}   "
+                  f"mean response {mean_us:7.1f} us")
+        print(f"  overall throughput: {report.throughput():,.0f} queries/s\n")
+
+    print(
+        "Embed routing re-concentrates each new trending region onto one "
+        "processor's\ncache within a phase — no repartitioning, no routing-"
+        "table updates — while\nhash routing keeps spraying each region "
+        "across the whole tier."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs with older setuptools."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""gRouting reproduction: smart query routing for distributed graph
+querying with decoupled storage.
+
+Public API tour
+---------------
+- :mod:`repro.graph` — graph model, generators, traversal.
+- :mod:`repro.datasets` — the four synthetic dataset analogues.
+- :mod:`repro.workloads` — hotspot query workload generator (§4.1).
+- :mod:`repro.core` — the decoupled cluster: storage tier, processors with
+  caches, router with next-ready / hash / landmark / embed routing.
+- :mod:`repro.baselines` — SEDGE/Giraph-like and PowerGraph-like coupled
+  systems for Figure 7 comparisons.
+- :mod:`repro.bench` — the per-figure/table experiment harness.
+
+Quickstart::
+
+    from repro import ClusterConfig, run_workload
+    from repro.datasets import memetracker_like
+    from repro.workloads import hotspot_workload
+
+    graph = memetracker_like(scale=0.3, seed=1)
+    queries = hotspot_workload(graph, num_hotspots=20, queries_per_hotspot=10)
+    report = run_workload(graph, queries, ClusterConfig(routing="embed"))
+    print(report.summary())
+"""
+
+from .core import (
+    ClusterConfig,
+    GRoutingCluster,
+    GraphAssets,
+    NeighborAggregationQuery,
+    RandomWalkQuery,
+    ReachabilityQuery,
+    WorkloadReport,
+    run_workload,
+)
+from .costs import (
+    DEFAULT_COSTS,
+    ETHERNET,
+    ETHERNET_COSTS,
+    INFINIBAND,
+    CostModel,
+    NetworkModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "ETHERNET",
+    "ETHERNET_COSTS",
+    "GRoutingCluster",
+    "GraphAssets",
+    "INFINIBAND",
+    "NeighborAggregationQuery",
+    "NetworkModel",
+    "RandomWalkQuery",
+    "ReachabilityQuery",
+    "WorkloadReport",
+    "run_workload",
+    "__version__",
+]

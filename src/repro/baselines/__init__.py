@@ -1,0 +1,23 @@
+"""Comparison systems: coupled BSP (SEDGE/Giraph) and GAS (PowerGraph)."""
+
+from .coupled import CoupledCosts, PowerGraphSystem, SedgeSystem
+from .metis_like import (
+    edge_cut,
+    hash_partition,
+    multilevel_partition,
+    partition_loads,
+)
+from .vertex_cut import VertexCut, greedy_vertex_cut, random_vertex_cut
+
+__all__ = [
+    "CoupledCosts",
+    "PowerGraphSystem",
+    "SedgeSystem",
+    "VertexCut",
+    "edge_cut",
+    "greedy_vertex_cut",
+    "hash_partition",
+    "multilevel_partition",
+    "partition_loads",
+    "random_vertex_cut",
+]

@@ -1,0 +1,239 @@
+"""Multilevel balanced edge-cut partitioner (METIS-style).
+
+SEDGE runs ParMETIS for its partitioning/re-partitioning (§4, [35][9]).
+This module implements the same three-phase multilevel scheme:
+
+1. **coarsening** — repeated heavy-edge matching collapses the graph by
+   roughly half per level while preserving its community structure;
+2. **initial partitioning** — greedy region growing (BFS from spread-out
+   seeds) on the coarsest graph, balanced by collapsed node weight;
+3. **uncoarsening + refinement** — projected back level by level with a
+   boundary Kernighan–Lin/Fiduccia–Mattheyses pass after each projection,
+   moving boundary nodes when it reduces the edge cut within balance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.digraph import Graph
+
+Adjacency = List[Dict[int, float]]
+
+
+def _adjacency_from_csr(csr: CSRGraph) -> Adjacency:
+    adj: Adjacency = [dict() for _ in range(csr.num_nodes)]
+    for u in range(csr.num_nodes):
+        for v in csr.neighbors_of(u):
+            v = int(v)
+            if v != u:
+                adj[u][v] = adj[u].get(v, 0.0) + 1.0
+                adj[v][u] = adj[v].get(u, 0.0) + 1.0
+    # Each undirected pair was added twice (once per direction row).
+    for u in range(csr.num_nodes):
+        for v in adj[u]:
+            adj[u][v] /= 2.0
+    return adj
+
+
+def _heavy_edge_matching(
+    adj: Adjacency, weights: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, int]:
+    """Match each node with its heaviest unmatched neighbor."""
+    n = len(adj)
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for u in order:
+        if match[u] != -1 or not adj[u]:
+            continue
+        best, best_weight = -1, -1.0
+        for v, w in adj[u].items():
+            if match[v] == -1 and w > best_weight:
+                best, best_weight = v, w
+        if best != -1:
+            match[u] = best
+            match[best] = u
+    # Assign coarse ids: matched pairs share one id.
+    coarse_id = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(n):
+        if coarse_id[u] != -1:
+            continue
+        coarse_id[u] = next_id
+        if match[u] != -1:
+            coarse_id[match[u]] = next_id
+        next_id += 1
+    return coarse_id, next_id
+
+
+def _coarsen(
+    adj: Adjacency, weights: np.ndarray, coarse_id: np.ndarray, size: int
+) -> Tuple[Adjacency, np.ndarray]:
+    new_adj: Adjacency = [dict() for _ in range(size)]
+    new_weights = np.zeros(size, dtype=np.float64)
+    for u, cu in enumerate(coarse_id):
+        new_weights[cu] += weights[u]
+        for v, w in adj[u].items():
+            cv = coarse_id[v]
+            if cu != cv:
+                new_adj[cu][cv] = new_adj[cu].get(cv, 0.0) + w
+    return new_adj, new_weights
+
+
+def _grow_initial(
+    adj: Adjacency,
+    weights: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy BFS region growing into k balanced parts."""
+    n = len(adj)
+    labels = np.full(n, -1, dtype=np.int32)
+    target = weights.sum() / k
+    order = np.argsort(-weights, kind="stable")
+    part = 0
+    for seed in order:
+        if part >= k:
+            break
+        if labels[seed] != -1:
+            continue
+        # Grow part `part` from this seed until it reaches target weight.
+        load = 0.0
+        frontier = [int(seed)]
+        while frontier and load < target:
+            u = frontier.pop(0)
+            if labels[u] != -1:
+                continue
+            labels[u] = part
+            load += weights[u]
+            frontier.extend(v for v in adj[u] if labels[v] == -1)
+        part += 1
+    # Leftover nodes join their lightest labelled neighbor's part, or the
+    # globally lightest part.
+    loads = np.zeros(k, dtype=np.float64)
+    for u in range(n):
+        if labels[u] >= 0:
+            loads[labels[u]] += weights[u]
+    for u in range(n):
+        if labels[u] != -1:
+            continue
+        neighbor_parts = {labels[v] for v in adj[u] if labels[v] != -1}
+        if neighbor_parts:
+            choice = min(neighbor_parts, key=lambda p: loads[p])
+        else:
+            choice = int(np.argmin(loads))
+        labels[u] = choice
+        loads[choice] += weights[u]
+    return labels
+
+
+def _refine(
+    adj: Adjacency,
+    weights: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    balance: float,
+    passes: int = 4,
+) -> None:
+    """Boundary FM refinement: greedy gain moves within the balance bound."""
+    loads = np.zeros(k, dtype=np.float64)
+    for u, part in enumerate(labels):
+        loads[part] += weights[u]
+    max_load = balance * weights.sum() / k
+    for _ in range(passes):
+        moved = 0
+        for u in range(len(adj)):
+            here = labels[u]
+            if not adj[u]:
+                continue
+            # Connectivity of u to each adjacent part.
+            conn: Dict[int, float] = {}
+            for v, w in adj[u].items():
+                conn[labels[v]] = conn.get(labels[v], 0.0) + w
+            best_part, best_gain = here, 0.0
+            internal = conn.get(here, 0.0)
+            for part, weight_to in conn.items():
+                if part == here:
+                    continue
+                gain = weight_to - internal
+                if gain > best_gain and loads[part] + weights[u] <= max_load:
+                    best_part, best_gain = part, gain
+            if best_part != here:
+                loads[here] -= weights[u]
+                loads[best_part] += weights[u]
+                labels[u] = best_part
+                moved += 1
+        if moved == 0:
+            break
+
+
+def multilevel_partition(
+    graph: Graph,
+    k: int,
+    seed: int = 0,
+    balance: float = 1.05,
+    coarsest_size: int = 200,
+    csr: Optional[CSRGraph] = None,
+) -> np.ndarray:
+    """Partition ``graph`` into ``k`` parts; returns per-compact-index labels.
+
+    Labels follow the node ordering of ``CSRGraph.from_graph(graph,
+    "both")`` (sorted node ids).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if csr is None:
+        csr = CSRGraph.from_graph(graph, direction="both")
+    n = csr.num_nodes
+    if k == 1:
+        return np.zeros(n, dtype=np.int32)
+    if n < k:
+        raise ValueError("cannot split fewer nodes than parts")
+    rng = np.random.default_rng(seed)
+
+    adj = _adjacency_from_csr(csr)
+    weights = np.ones(n, dtype=np.float64)
+    levels: List[np.ndarray] = []  # coarse_id maps per level
+    adjs = [adj]
+    weight_stack = [weights]
+    while len(adjs[-1]) > max(coarsest_size, 2 * k):
+        coarse_id, size = _heavy_edge_matching(adjs[-1], weight_stack[-1], rng)
+        if size >= len(adjs[-1]):  # matching stalled; stop coarsening
+            break
+        coarse_adj, coarse_weights = _coarsen(
+            adjs[-1], weight_stack[-1], coarse_id, size
+        )
+        levels.append(coarse_id)
+        adjs.append(coarse_adj)
+        weight_stack.append(coarse_weights)
+
+    labels = _grow_initial(adjs[-1], weight_stack[-1], k, rng)
+    _refine(adjs[-1], weight_stack[-1], labels, k, balance)
+    # Project back through the levels, refining after each projection.
+    for level in range(len(levels) - 1, -1, -1):
+        labels = labels[levels[level]]
+        _refine(adjs[level], weight_stack[level], labels, k, balance)
+    return labels.astype(np.int32)
+
+
+def hash_partition(csr: CSRGraph, k: int) -> np.ndarray:
+    """Node-id modulo partitioning (the cheap scheme, for comparison)."""
+    return (csr.node_ids % k).astype(np.int32)
+
+
+def edge_cut(csr: CSRGraph, labels: np.ndarray) -> int:
+    """Number of adjacency entries crossing partitions (directed rows)."""
+    total = 0
+    for u in range(csr.num_nodes):
+        row = csr.neighbors_of(u)
+        if row.size:
+            total += int((labels[row] != labels[u]).sum())
+    return total
+
+
+def partition_loads(labels: np.ndarray, k: int) -> np.ndarray:
+    """Nodes per part."""
+    return np.bincount(labels, minlength=k)

@@ -1,0 +1,143 @@
+"""Shared experiment harness: contexts, formatting, result artifacts.
+
+Every benchmark regenerates one table or figure of the paper. They share
+per-dataset :class:`ExperimentContext` objects (graph + assets + workload),
+so landmark BFS and embeddings are computed once per process, and they all
+report through the same plain-text table formatter, whose output is the
+reproduction's analogue of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.assets import GraphAssets
+from ..core.queries import Query
+from ..datasets import load_dataset
+from ..graph.digraph import Graph
+from ..workloads import hotspot_workload
+
+#: Environment knob: scale every benchmark graph (e.g. 0.25 for smoke runs).
+SCALE_ENV = "REPRO_BENCH_SCALE"
+
+RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "bench_results"))
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Graph scale for benchmarks, overridable via REPRO_BENCH_SCALE."""
+    return float(os.environ.get(SCALE_ENV, default))
+
+
+@dataclass
+class ExperimentContext:
+    """One dataset's shared state across all experiments in a process."""
+
+    dataset: str
+    scale: float
+    seed: int
+    graph: Graph
+    assets: GraphAssets
+    _workloads: Dict[tuple, List[Query]] = field(default_factory=dict)
+
+    def workload(
+        self,
+        num_hotspots: int = 100,
+        queries_per_hotspot: int = 10,
+        radius: int = 2,
+        hops: int = 2,
+        seed: int = 7,
+    ) -> List[Query]:
+        """Memoized hotspot workload (paper default: 100 x 10, r=2, h=2)."""
+        key = (num_hotspots, queries_per_hotspot, radius, hops, seed)
+        if key not in self._workloads:
+            self._workloads[key] = hotspot_workload(
+                self.graph,
+                num_hotspots=num_hotspots,
+                queries_per_hotspot=queries_per_hotspot,
+                radius=radius,
+                hops=hops,
+                seed=seed,
+                csr=self.assets.csr_both,
+            )
+        return self._workloads[key]
+
+
+_CONTEXTS: Dict[tuple, ExperimentContext] = {}
+
+
+def get_context(dataset: str = "webgraph", scale: Optional[float] = None,
+                seed: int = 1) -> ExperimentContext:
+    """Process-wide memoized context for a dataset."""
+    if scale is None:
+        scale = bench_scale()
+    key = (dataset, scale, seed)
+    if key not in _CONTEXTS:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        _CONTEXTS[key] = ExperimentContext(
+            dataset=dataset, scale=scale, seed=seed,
+            graph=graph, assets=GraphAssets(graph),
+        )
+    return _CONTEXTS[key]
+
+
+# -- formatting ---------------------------------------------------------------
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table, the text analogue of a paper figure."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"== {title} ==",
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(title: str, headers: Sequence[str],
+         rows: Sequence[Sequence[object]], name: str) -> str:
+    """Print a table and persist it as a JSON artifact."""
+    table = format_table(title, headers, rows)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+        "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    return table
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds (Table 2 timings)."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,71 @@
+"""Render every saved benchmark artifact as plain-text tables.
+
+pytest captures experiment stdout during benchmark runs, so the
+paper-style tables live primarily in ``bench_results/*.json``. This module
+(also runnable: ``python -m repro.bench.report``) re-renders all of them
+into one text report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .harness import RESULTS_DIR, format_table
+
+#: Render order: paper order (tables, then figures), then ablations.
+_ORDER = [
+    "table1_datasets",
+    "fig7_system_comparison",
+    "fig8a_processor_scaling",
+    "fig8b_cache_hits",
+    "fig8c_storage_scaling",
+    "fig9a_response",
+    "fig9b_hits",
+    "fig9c_break_even",
+    "table2_preprocessing",
+    "table3_storage",
+    "fig10_graph_updates",
+    "fig11a_load_factor",
+    "fig11b_alpha",
+    "fig12a_embedding_error",
+    "fig12b_dimension_response",
+    "fig13a_landmark_count",
+    "fig13b_landmark_separation",
+    "fig14a_response",
+    "fig14bc_cache",
+    "fig15_traversal_depth",
+    "fig16_other_datasets",
+    "ablation_cache_policy",
+    "ablation_embed_method",
+    "ablation_partitioner",
+    "ablation_query_stealing",
+]
+
+
+def render_all_results(results_dir: Path = RESULTS_DIR) -> str:
+    """One text report with every artifact's table, in paper order."""
+    sections = []
+    seen = set()
+    names = [n for n in _ORDER]
+    names += sorted(
+        p.stem for p in results_dir.glob("*.json") if p.stem not in _ORDER
+    )
+    for name in names:
+        path = results_dir / f"{name}.json"
+        if not path.exists() or name in seen:
+            continue
+        seen.add(name)
+        payload = json.loads(path.read_text())
+        sections.append(
+            format_table(payload["title"], payload["headers"], payload["rows"])
+        )
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - thin CLI
+    print(render_all_results())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

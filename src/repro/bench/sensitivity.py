@@ -1,0 +1,308 @@
+"""Sensitivity experiments (Figures 11-16) and design-choice ablations.
+
+Sensitivity sweeps follow §4.6-§4.8: load factor, EMA smoothing, embedding
+dimensionality, landmark count and separation, hotspot radius, traversal
+depth, and the other datasets. The ablations cover design decisions the
+paper fixes without sweeping (cache policy, embedding method, partitioner,
+query stealing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..baselines import SedgeSystem, hash_partition
+from ..core import GRoutingCluster
+from ..embedding import GraphEmbedding
+from .experiments import SCHEMES, run_scheme, scheme_config
+from .harness import emit, get_context
+
+
+# -- Figure 11 ----------------------------------------------------------------
+def fig11a_load_factor(
+    load_factors: Sequence[float] = (0.01, 0.1, 1.0, 10.0, 100.0, 1000.0,
+                                     10000.0),
+) -> List[List[object]]:
+    """Fig 11(a): throughput vs load factor (smart schemes + hash line)."""
+    ctx = get_context("webgraph")
+    hash_throughput = round(run_scheme(ctx, "hash").throughput(), 1)
+    rows = []
+    for load_factor in load_factors:
+        embed = run_scheme(ctx, "embed", load_factor=load_factor)
+        landmark = run_scheme(ctx, "landmark", load_factor=load_factor)
+        rows.append([
+            load_factor,
+            round(embed.throughput(), 1),
+            round(landmark.throughput(), 1),
+            hash_throughput,
+        ])
+    emit("Fig 11(a): throughput (queries/s) vs load factor",
+         ["load factor", "embed", "landmark", "hash (reference)"],
+         rows, "fig11a_load_factor")
+    return rows
+
+
+def fig11b_alpha(
+    alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> List[List[object]]:
+    """Fig 11(b): response time vs EMA smoothing parameter alpha."""
+    ctx = get_context("webgraph")
+    hash_ms = round(run_scheme(ctx, "hash").mean_response_time() * 1e3, 4)
+    rows = []
+    for alpha in alphas:
+        embed = run_scheme(ctx, "embed", alpha=alpha)
+        rows.append([
+            alpha,
+            round(embed.mean_response_time() * 1e3, 4),
+            hash_ms,
+        ])
+    emit("Fig 11(b): response time (ms) vs smoothing parameter alpha",
+         ["alpha", "embed", "hash (reference)"], rows, "fig11b_alpha")
+    return rows
+
+
+# -- Figure 12 ----------------------------------------------------------------
+def fig12a_embedding_error(
+    dims: Sequence[int] = (2, 5, 10, 15, 20),
+    num_pairs: int = 300,
+) -> List[List[object]]:
+    """Fig 12(a): relative distance error vs embedding dimensionality.
+
+    Pairs are drawn from the hotspot workload (query nodes of the same
+    2-hop hotspot), matching the paper's "2-Hop Hotspot" curve. Uses the
+    batch Simplex Downhill refinement on a half-scale graph.
+    """
+    ctx = get_context("webgraph", scale=0.25)
+    csr = ctx.assets.csr_both
+    queries = ctx.workload(num_hotspots=50)
+    rng = np.random.default_rng(5)
+    pairs = []
+    nodes = [q.node for q in queries]
+    # Same-hotspot pairs: consecutive queries belong to one hotspot.
+    for i in range(0, len(nodes) - 1, 2):
+        if nodes[i] != nodes[i + 1]:
+            pairs.append((nodes[i], nodes[i + 1]))
+    while len(pairs) < num_pairs:
+        a, b = rng.choice(csr.node_ids, size=2, replace=False)
+        pairs.append((int(a), int(b)))
+    pairs = pairs[:num_pairs]
+
+    distances = ctx.assets.landmark_distances(96, 3)
+    rows = []
+    for dim in dims:
+        embedding = GraphEmbedding.embed(
+            csr, dim=dim, landmark_distances=distances, method="simplex",
+            nm_iterations=60,
+        )
+        errors = embedding.relative_errors(csr, pairs, max_hops=10)
+        rows.append([dim, round(float(errors.mean()), 4)])
+    emit("Fig 12(a): mean relative distance error vs dimensions "
+         "(2-hop hotspot pairs)",
+         ["dimensions", "relative error"], rows, "fig12a_embedding_error")
+    return rows
+
+
+def fig12b_dimension_response(
+    dims: Sequence[int] = (2, 5, 10, 15, 20, 25, 30),
+) -> List[List[object]]:
+    """Fig 12(b): response time vs dimensionality (accuracy/cost trade)."""
+    ctx = get_context("webgraph")
+    hash_ms = round(run_scheme(ctx, "hash").mean_response_time() * 1e3, 4)
+    rows = []
+    for dim in dims:
+        report = run_scheme(ctx, "embed", dim=dim)
+        rows.append([dim, round(report.mean_response_time() * 1e3, 4),
+                     hash_ms])
+    emit("Fig 12(b): response time (ms) vs embedding dimensionality",
+         ["dimensions", "embed", "hash (reference)"], rows,
+         "fig12b_dimension_response")
+    return rows
+
+
+# -- Figure 13 ----------------------------------------------------------------
+def fig13a_landmark_count(
+    counts: Sequence[int] = (4, 8, 16, 32, 64, 96, 128),
+) -> List[List[object]]:
+    """Fig 13(a): response time vs number of landmarks."""
+    ctx = get_context("webgraph")
+    hash_ms = round(run_scheme(ctx, "hash").mean_response_time() * 1e3, 4)
+    rows = []
+    for count in counts:
+        embed = run_scheme(ctx, "embed", num_landmarks=count)
+        landmark = run_scheme(ctx, "landmark", num_landmarks=count)
+        rows.append([
+            count,
+            round(embed.mean_response_time() * 1e3, 4),
+            round(landmark.mean_response_time() * 1e3, 4),
+            hash_ms,
+        ])
+    emit("Fig 13(a): response time (ms) vs number of landmarks",
+         ["landmarks", "embed", "landmark", "hash (reference)"],
+         rows, "fig13a_landmark_count")
+    return rows
+
+
+def fig13b_landmark_separation(
+    separations: Sequence[int] = (1, 2, 3, 4, 5),
+) -> List[List[object]]:
+    """Fig 13(b): response time vs minimum landmark separation (hops)."""
+    ctx = get_context("webgraph")
+    hash_ms = round(run_scheme(ctx, "hash").mean_response_time() * 1e3, 4)
+    rows = []
+    for separation in separations:
+        embed = run_scheme(ctx, "embed", min_separation=separation)
+        landmark = run_scheme(ctx, "landmark", min_separation=separation)
+        rows.append([
+            separation,
+            round(embed.mean_response_time() * 1e3, 4),
+            round(landmark.mean_response_time() * 1e3, 4),
+            hash_ms,
+        ])
+    emit("Fig 13(b): response time (ms) vs min landmark separation (hops)",
+         ["separation", "embed", "landmark", "hash (reference)"],
+         rows, "fig13b_landmark_separation")
+    return rows
+
+
+# -- Figures 14 / 15 / 16 --------------------------------------------------------
+def fig14_hotspot_radius(
+    radii: Sequence[int] = (1, 2),
+) -> Dict[str, List[List[object]]]:
+    """Fig 14: response time and hits/misses for r-hop hotspots, h=2."""
+    ctx = get_context("webgraph")
+    response_rows, cache_rows = [], []
+    for radius in radii:
+        queries = ctx.workload(radius=radius)
+        for scheme in SCHEMES:
+            report = run_scheme(ctx, scheme, queries=queries)
+            response_rows.append([
+                f"{radius}-hop", scheme,
+                round(report.mean_response_time() * 1e3, 4),
+            ])
+            cache_rows.append([
+                f"{radius}-hop", scheme,
+                report.total_cache_hits(), report.total_cache_misses(),
+            ])
+    emit("Fig 14(a): response time (ms), r-hop hotspot, 2-hop traversal",
+         ["hotspot", "scheme", "response (ms)"], response_rows,
+         "fig14a_response")
+    emit("Fig 14(b,c): cache hits and misses by scheme",
+         ["hotspot", "scheme", "hits", "misses"], cache_rows,
+         "fig14bc_cache")
+    return {"response": response_rows, "cache": cache_rows}
+
+
+def fig15_traversal_depth(
+    depths: Sequence[int] = (1, 2, 3),
+) -> List[List[object]]:
+    """Fig 15: response time for h-hop traversals, 2-hop hotspots."""
+    ctx = get_context("webgraph")
+    rows = []
+    for hops in depths:
+        queries = ctx.workload(hops=hops)
+        for scheme in SCHEMES:
+            report = run_scheme(ctx, scheme, queries=queries)
+            rows.append([
+                hops, scheme, round(report.mean_response_time() * 1e3, 4),
+            ])
+    emit("Fig 15: response time (ms) vs traversal depth h",
+         ["h", "scheme", "response (ms)"], rows, "fig15_traversal_depth")
+    return rows
+
+
+def fig16_other_datasets(
+    datasets: Sequence[str] = ("memetracker", "friendster"),
+) -> List[List[object]]:
+    """Fig 16: response time by scheme on Memetracker and Friendster."""
+    rows = []
+    for dataset in datasets:
+        ctx = get_context(dataset)
+        queries = ctx.workload()
+        for scheme in SCHEMES:
+            report = run_scheme(ctx, scheme, queries=queries)
+            rows.append([
+                dataset, scheme,
+                round(report.mean_response_time() * 1e3, 4),
+                round(report.cache_hit_rate(), 3),
+            ])
+    emit("Fig 16: response time (ms) on other datasets",
+         ["dataset", "scheme", "response (ms)", "hit rate"],
+         rows, "fig16_other_datasets")
+    return rows
+
+
+# -- Ablations (beyond the paper) -----------------------------------------------
+def ablation_cache_policy(
+    policies: Sequence[str] = ("lru", "fifo", "lfu"),
+) -> List[List[object]]:
+    """LRU vs FIFO vs LFU under embed routing (paper fixes LRU, §2.3)."""
+    ctx = get_context("webgraph")
+    rows = []
+    for policy in policies:
+        report = run_scheme(ctx, "embed", cache_policy=policy,
+                            cache_capacity_bytes=512 << 10)
+        rows.append([
+            policy,
+            round(report.mean_response_time() * 1e3, 4),
+            round(report.cache_hit_rate(), 3),
+        ])
+    emit("Ablation: cache eviction policy (512 KiB cache, embed routing)",
+         ["policy", "response (ms)", "hit rate"], rows,
+         "ablation_cache_policy")
+    return rows
+
+
+def ablation_embed_method() -> List[List[object]]:
+    """Simplex Downhill refinement vs plain LMDS for routing quality."""
+    ctx = get_context("webgraph", scale=0.5)
+    rows = []
+    for method in ("lmds", "simplex"):
+        report = run_scheme(ctx, "embed", embed_method=method)
+        rows.append([
+            method,
+            round(report.mean_response_time() * 1e3, 4),
+            round(report.cache_hit_rate(), 3),
+        ])
+    emit("Ablation: embedding method (half-scale webgraph)",
+         ["method", "response (ms)", "hit rate"], rows,
+         "ablation_embed_method")
+    return rows
+
+
+def ablation_partitioner() -> List[List[object]]:
+    """SEDGE with METIS-style vs hash partitioning (partition quality)."""
+    ctx = get_context("webgraph")
+    queries = ctx.workload()
+    metis = SedgeSystem(ctx.assets, num_servers=12).run(queries)
+    hashed = SedgeSystem(
+        ctx.assets, num_servers=12,
+        partition_labels=hash_partition(ctx.assets.csr_both, 12),
+    ).run(queries)
+    rows = [
+        ["metis-like", round(metis.throughput(), 1)],
+        ["hash", round(hashed.throughput(), 1)],
+    ]
+    emit("Ablation: SEDGE partitioning quality (throughput, queries/s)",
+         ["partitioner", "throughput"], rows, "ablation_partitioner")
+    return rows
+
+
+def ablation_query_stealing() -> List[List[object]]:
+    """Query stealing on/off under a skewed hotspot workload (§4.6)."""
+    ctx = get_context("webgraph")
+    queries = ctx.workload()
+    rows = []
+    for steal in (True, False):
+        report = run_scheme(ctx, "landmark", queries=queries, steal=steal)
+        rows.append([
+            "on" if steal else "off",
+            round(report.throughput(), 1),
+            round(report.load_imbalance(), 2),
+            report.stolen_count(),
+        ])
+    emit("Ablation: query stealing (landmark routing)",
+         ["stealing", "throughput", "load imbalance", "stolen"],
+         rows, "ablation_query_stealing")
+    return rows

@@ -1,0 +1,45 @@
+"""gRouting core: decoupled cluster, router, processors, smart routing."""
+
+from .assets import GraphAssets
+from .cache import CacheStats, ProcessorCache
+from .cluster import ROUTING_CHOICES, ClusterConfig, GRoutingCluster, run_workload
+from .metrics import QueryRecord, QueryStats, WorkloadReport
+from .processor import QueryProcessor
+from .queries import (
+    NeighborAggregationQuery,
+    Query,
+    RandomWalkQuery,
+    ReachabilityQuery,
+)
+from .router import Router
+from .routing import (
+    EmbedRouting,
+    HashRouting,
+    LandmarkRouting,
+    NextReadyRouting,
+    RoutingStrategy,
+)
+
+__all__ = [
+    "CacheStats",
+    "ClusterConfig",
+    "EmbedRouting",
+    "GRoutingCluster",
+    "GraphAssets",
+    "HashRouting",
+    "LandmarkRouting",
+    "NeighborAggregationQuery",
+    "NextReadyRouting",
+    "ProcessorCache",
+    "Query",
+    "QueryProcessor",
+    "QueryRecord",
+    "QueryStats",
+    "ROUTING_CHOICES",
+    "RandomWalkQuery",
+    "ReachabilityQuery",
+    "Router",
+    "RoutingStrategy",
+    "WorkloadReport",
+    "run_workload",
+]

@@ -1,0 +1,143 @@
+"""Shared, immutable per-graph artifacts for cluster simulations.
+
+Experiment sweeps run dozens of cluster configurations over the *same*
+graph. Everything that depends only on the graph — CSR views, record
+sizes, storage ownership, landmark tables, embeddings — is built once here
+and memoized, so a sweep pays preprocessing once instead of per
+configuration. All artifacts are read-only from the cluster's perspective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..embedding import GraphEmbedding
+from ..graph.csr import CSRGraph
+from ..graph.digraph import Graph
+from ..landmarks import LandmarkDistances, LandmarkIndex, select_landmarks
+from ..landmarks.assignment import (
+    assign_landmarks_to_processors,
+    node_processor_distances,
+)
+from ..storage.murmur import hash_node_id
+from ..storage.records import record_for_node
+
+
+class GraphAssets:
+    """Memoized analysis-side artifacts for one graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.csr_both = CSRGraph.from_graph(graph, direction="both")
+        self.node_ids = self.csr_both.node_ids
+        self.compact = {int(n): i for i, n in enumerate(self.node_ids)}
+        self._csr_out: Optional[CSRGraph] = None
+        self._csr_in: Optional[CSRGraph] = None
+        self._record_sizes: Optional[np.ndarray] = None
+        self._owners: Dict[int, np.ndarray] = {}
+        self._landmark_distances: Dict[Tuple[int, int], LandmarkDistances] = {}
+        self._landmark_indexes: Dict[Tuple[int, int, int], LandmarkIndex] = {}
+        self._embeddings: Dict[Tuple[int, int, int, str], GraphEmbedding] = {}
+
+    # -- topology views -----------------------------------------------------
+    @property
+    def csr_out(self) -> CSRGraph:
+        if self._csr_out is None:
+            self._csr_out = CSRGraph.from_graph(self.graph, direction="out")
+        return self._csr_out
+
+    @property
+    def csr_in(self) -> CSRGraph:
+        if self._csr_in is None:
+            self._csr_in = CSRGraph.from_graph(self.graph, direction="in")
+        return self._csr_in
+
+    @property
+    def num_nodes(self) -> int:
+        return self.csr_both.num_nodes
+
+    # -- storage-side metadata ---------------------------------------------
+    @property
+    def record_sizes(self) -> np.ndarray:
+        """Encoded adjacency-record size (bytes) per compact node index."""
+        if self._record_sizes is None:
+            sizes = np.empty(self.num_nodes, dtype=np.int64)
+            for node_id, idx in self.compact.items():
+                sizes[idx] = record_for_node(self.graph, node_id).size_bytes()
+            self._record_sizes = sizes
+        return self._record_sizes
+
+    def total_graph_bytes(self) -> int:
+        """Size of the whole graph in record form (the '60.3 GB' analogue)."""
+        return int(self.record_sizes.sum())
+
+    def owner_array(self, num_servers: int) -> np.ndarray:
+        """Storage server owning each compact node (MurmurHash3 mod M)."""
+        owners = self._owners.get(num_servers)
+        if owners is None:
+            owners = np.array(
+                [hash_node_id(int(n)) % num_servers for n in self.node_ids],
+                dtype=np.int32,
+            )
+            self._owners[num_servers] = owners
+        return owners
+
+    # -- smart-routing preprocessing ------------------------------------------
+    def landmark_distances(
+        self, num_landmarks: int = 96, min_separation: int = 3
+    ) -> LandmarkDistances:
+        key = (num_landmarks, min_separation)
+        if key not in self._landmark_distances:
+            landmarks = select_landmarks(self.csr_both, num_landmarks, min_separation)
+            self._landmark_distances[key] = LandmarkDistances.compute(
+                self.csr_both, landmarks
+            )
+        return self._landmark_distances[key]
+
+    def landmark_index(
+        self,
+        num_processors: int,
+        num_landmarks: int = 96,
+        min_separation: int = 3,
+    ) -> LandmarkIndex:
+        """Landmark routing table for a given processor count."""
+        key = (num_processors, num_landmarks, min_separation)
+        if key not in self._landmark_indexes:
+            distances = self.landmark_distances(num_landmarks, min_separation)
+            groups = assign_landmarks_to_processors(
+                distances.pair_matrix(), num_processors
+            )
+            table = node_processor_distances(distances.matrix, groups)
+            landmark_node_ids = [
+                int(self.node_ids[l]) for l in distances.landmarks
+            ]
+            self._landmark_indexes[key] = LandmarkIndex(
+                self.node_ids,
+                landmark_node_ids,
+                distances.matrix,
+                groups,
+                table,
+            )
+        return self._landmark_indexes[key]
+
+    def embedding(
+        self,
+        dim: int = 10,
+        num_landmarks: int = 96,
+        min_separation: int = 3,
+        method: str = "simplex",
+        nm_iterations: int = 120,
+    ) -> GraphEmbedding:
+        key = (dim, num_landmarks, min_separation, method)
+        if key not in self._embeddings:
+            distances = self.landmark_distances(num_landmarks, min_separation)
+            self._embeddings[key] = GraphEmbedding.embed(
+                self.csr_both,
+                dim=dim,
+                method=method,
+                landmark_distances=distances,
+                nm_iterations=nm_iterations,
+            )
+        return self._embeddings[key]

@@ -1,0 +1,147 @@
+"""Query-processor cache with byte capacity and pluggable eviction.
+
+The paper uses LRU ("usually implemented as the default cache replacement
+policy, and it favors recent queries", §2.3). FIFO and LFU are provided for
+the eviction-policy ablation. The cache is an *accounting* cache: the
+simulation tracks which adjacency records are resident and how many bytes
+they occupy; values themselves are optional.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+POLICIES = ("lru", "fifo", "lfu")
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters (Eq. 8/9 style hit/miss accounting)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0  # records too large to ever fit
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ProcessorCache:
+    """Byte-bounded cache keyed by node id.
+
+    ``capacity_bytes == 0`` models the paper's *no-cache* mode: every probe
+    misses and nothing is admitted.
+    """
+
+    def __init__(self, capacity_bytes: int, policy: str = "lru") -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._bytes = 0
+        # LFU bookkeeping: access counts plus a lazy min-heap of
+        # (count, tick, key) snapshots; stale snapshots are skipped on pop.
+        self._freq: Dict[Hashable, int] = {}
+        self._heap: List[Tuple[int, int, Hashable]] = []
+        self._tick = 0
+
+    # -- probes ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Presence check without statistics or recency side effects."""
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Probe for ``key``; returns the stored value or None on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(key)
+        return entry[1]
+
+    def get_many(self, keys: Iterable[Hashable]) -> List[Hashable]:
+        """Probe many keys; returns the list of *missed* keys, in order."""
+        missed: List[Hashable] = []
+        entries = self._entries
+        for key in keys:
+            if key in entries:
+                self.stats.hits += 1
+                self._touch(key)
+            else:
+                self.stats.misses += 1
+                missed.append(key)
+        return missed
+
+    # -- admissions -------------------------------------------------------
+    def put(self, key: Hashable, size: int, value: Any = True) -> None:
+        """Admit ``key`` occupying ``size`` bytes, evicting as needed."""
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        if size > self.capacity_bytes:
+            self.stats.rejected += 1
+            return
+        if key in self._entries:
+            old_size, _ = self._entries[key]
+            self._bytes -= old_size
+            del self._entries[key]
+        while self._bytes + size > self.capacity_bytes and self._entries:
+            self._evict_one()
+        self._entries[key] = (size, value)
+        self._bytes += size
+        self.stats.insertions += 1
+        if self.policy == "lfu":
+            self._freq[key] = self._freq.get(key, 0) + 1
+            self._tick += 1
+            heapq.heappush(self._heap, (self._freq[key], self._tick, key))
+
+    def put_many(self, items: Iterable[Tuple[Hashable, int]]) -> None:
+        for key, size in items:
+            self.put(key, size)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._freq.clear()
+        self._heap.clear()
+        self._bytes = 0
+
+    # -- internals ----------------------------------------------------------
+    def _touch(self, key: Hashable) -> None:
+        if self.policy == "lru":
+            self._entries.move_to_end(key)
+        elif self.policy == "lfu":
+            self._freq[key] += 1
+            self._tick += 1
+            heapq.heappush(self._heap, (self._freq[key], self._tick, key))
+        # FIFO: access order never changes.
+
+    def _evict_one(self) -> None:
+        if self.policy in ("lru", "fifo"):
+            key, (size, _) = self._entries.popitem(last=False)
+            self._bytes -= size
+        else:  # lfu with lazy heap
+            while True:
+                count, _tick, key = heapq.heappop(self._heap)
+                if key in self._entries and self._freq.get(key) == count:
+                    size, _ = self._entries.pop(key)
+                    self._bytes -= size
+                    del self._freq[key]
+                    break
+        self.stats.evictions += 1

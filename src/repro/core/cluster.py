@@ -1,0 +1,183 @@
+"""Cluster assembly: storage tier + processing tier + router, one run.
+
+:class:`GRoutingCluster` is the public entry point of the reproduction —
+the piece that corresponds to "gRouting" in the paper. Build it from a
+graph and a :class:`ClusterConfig`, call :meth:`run` with a list of
+queries, and read the :class:`~repro.core.metrics.WorkloadReport`.
+
+One cluster instance corresponds to one experiment run: caches start cold
+(§4.1) and simulated time starts at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..costs import DEFAULT_COSTS, CostModel
+from ..graph.digraph import Graph
+from ..sim import Environment
+from ..storage.tier import StorageTier
+from .assets import GraphAssets
+from .metrics import WorkloadReport
+from .processor import QueryProcessor
+from .queries import Query
+from .router import Router
+from .routing import (
+    EmbedRouting,
+    HashRouting,
+    LandmarkRouting,
+    NextReadyRouting,
+    RoutingStrategy,
+)
+
+ROUTING_CHOICES = ("next_ready", "hash", "landmark", "embed", "no_cache")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment + algorithm knobs (defaults follow §4.1 Parameter Setting)."""
+
+    num_processors: int = 7
+    num_storage_servers: int = 4
+    routing: str = "embed"
+    cache_capacity_bytes: int = 16 << 20
+    cache_policy: str = "lru"
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    load_factor: float = 20.0
+    alpha: float = 0.5
+    dim: int = 10
+    num_landmarks: int = 96
+    min_separation: int = 3
+    embed_method: str = "simplex"
+    steal: bool = True
+    seed: int = 0
+    materialize_storage: bool = False  # actually load records into the KV log
+
+    def with_routing(self, routing: str) -> "ClusterConfig":
+        return replace(self, routing=routing)
+
+
+class GRoutingCluster:
+    """A decoupled graph-querying cluster (Figure 2 of the paper)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        assets: Optional[GraphAssets] = None,
+        landmark_index=None,
+        embedding=None,
+    ) -> None:
+        """``landmark_index`` / ``embedding`` override the assets-built
+        artifacts — used by the graph-update experiments, where routing
+        must run on *stale* preprocessing (Fig 10)."""
+        self._landmark_index_override = landmark_index
+        self._embedding_override = embedding
+        self.config = config or ClusterConfig()
+        if self.config.routing not in ROUTING_CHOICES:
+            raise ValueError(
+                f"unknown routing {self.config.routing!r}; "
+                f"choose from {ROUTING_CHOICES}"
+            )
+        if self.config.num_processors < 1:
+            raise ValueError("need at least one query processor")
+        self.assets = assets if assets is not None else GraphAssets(graph)
+        self.env = Environment()
+        self.tier = StorageTier(
+            self.env,
+            num_servers=self.config.num_storage_servers,
+            service_model=self.config.costs.storage,
+        )
+        if self.config.materialize_storage:
+            self.tier.load_graph(self.assets.graph)
+        use_cache = self.config.routing != "no_cache"
+        self.processors: List[QueryProcessor] = [
+            QueryProcessor(
+                self.env,
+                processor_id=i,
+                tier=self.tier,
+                assets=self.assets,
+                costs=self.config.costs,
+                cache_capacity_bytes=self.config.cache_capacity_bytes,
+                cache_policy=self.config.cache_policy,
+                use_cache=use_cache,
+            )
+            for i in range(self.config.num_processors)
+        ]
+        self.strategy = self._build_strategy()
+        self.router = Router(
+            self.env, self.strategy, self.processors, steal=self.config.steal
+        )
+        for processor in self.processors:
+            processor.start(self.router)
+        self._ran = False
+
+    def _build_strategy(self) -> RoutingStrategy:
+        cfg = self.config
+        if cfg.routing in ("next_ready", "no_cache"):
+            return NextReadyRouting()
+        if cfg.routing == "hash":
+            return HashRouting(cfg.num_processors)
+        if cfg.routing == "landmark":
+            index = self._landmark_index_override
+            if index is None:
+                index = self.assets.landmark_index(
+                    cfg.num_processors, cfg.num_landmarks, cfg.min_separation
+                )
+            return LandmarkRouting(index, load_factor=cfg.load_factor)
+        # embed
+        embedding = self._embedding_override
+        if embedding is None:
+            embedding = self.assets.embedding(
+                dim=cfg.dim,
+                num_landmarks=cfg.num_landmarks,
+                min_separation=cfg.min_separation,
+                method=cfg.embed_method,
+            )
+        return EmbedRouting(
+            embedding,
+            num_processors=cfg.num_processors,
+            alpha=cfg.alpha,
+            load_factor=cfg.load_factor,
+            seed=cfg.seed,
+        )
+
+    # -- running a workload --------------------------------------------------
+    def run(self, queries: Sequence[Query]) -> WorkloadReport:
+        """Execute ``queries`` (closed batch, all submitted at t=0)."""
+        if self._ran:
+            raise RuntimeError(
+                "a cluster instance runs one workload; build a fresh one "
+                "(caches must start cold per run)"
+            )
+        self._ran = True
+        if queries:
+            self.router.submit(list(queries))
+            self.env.run(until=self.router.done)
+        report = WorkloadReport(
+            records=sorted(self.router.records, key=lambda r: r.query_id),
+            makespan=self.env.now,
+            num_processors=self.config.num_processors,
+            num_storage_servers=self.config.num_storage_servers,
+            routing=self.config.routing,
+        )
+        return report
+
+    # -- diagnostics -------------------------------------------------------------
+    def processor_utilizations(self) -> List[float]:
+        return [p.utilization(self.env.now) for p in self.processors]
+
+    def storage_utilizations(self) -> List[float]:
+        return [s.utilization(self.env.now) for s in self.tier.servers]
+
+
+def run_workload(
+    graph: Graph,
+    queries: Sequence[Query],
+    config: Optional[ClusterConfig] = None,
+    assets: Optional[GraphAssets] = None,
+) -> WorkloadReport:
+    """One-shot convenience: build a cluster, run, return the report."""
+    cluster = GRoutingCluster(graph, config=config, assets=assets)
+    return cluster.run(queries)

@@ -1,0 +1,140 @@
+"""Per-query records and workload-level reports.
+
+Metric definitions follow §4.1 of the paper:
+
+* **response time** — time to answer one query (processing + routing
+  decision; queueing delay is reported separately as ``sojourn``);
+* **throughput** — completed queries per unit of simulated time;
+* **cache hits / misses** — Eq. 8/9: per query, the number of result-set
+  nodes found in (resp. fetched into) the processor's cache, summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class QueryStats:
+    """Execution-side counters for one query (filled by the engine)."""
+
+    nodes_touched: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_fetched: int = 0
+    storage_requests: int = 0
+    result: object = None
+
+
+@dataclass
+class QueryRecord:
+    """One routed, executed query."""
+
+    query_id: int
+    kind: str
+    node: int
+    intended_processor: Optional[int]
+    processor: int
+    stolen: bool
+    decision_time: float
+    enqueued_at: float
+    started_at: float
+    finished_at: float
+    stats: QueryStats
+
+    @property
+    def response_time(self) -> float:
+        """Processing time plus the router's decision time."""
+        return (self.finished_at - self.started_at) + self.decision_time
+
+    @property
+    def sojourn_time(self) -> float:
+        """Time from arrival at the router to completion (includes queueing)."""
+        return self.finished_at - self.enqueued_at
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregated outcome of one workload run on one cluster."""
+
+    records: List[QueryRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    num_processors: int = 0
+    num_storage_servers: int = 0
+    routing: str = ""
+
+    # -- headline metrics ---------------------------------------------------
+    def throughput(self) -> float:
+        """Queries per second of simulated time."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.records) / self.makespan
+
+    def mean_response_time(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.response_time for r in self.records) / len(self.records)
+
+    def mean_sojourn_time(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.sojourn_time for r in self.records) / len(self.records)
+
+    def percentile_response_time(self, q: float) -> float:
+        """q-th percentile response time, q in [0, 100]."""
+        if not self.records:
+            return 0.0
+        times = sorted(r.response_time for r in self.records)
+        rank = min(len(times) - 1, max(0, int(round(q / 100 * (len(times) - 1)))))
+        return times[rank]
+
+    # -- cache metrics (Eq. 8 / 9) --------------------------------------------
+    def total_cache_hits(self) -> int:
+        return sum(r.stats.cache_hits for r in self.records)
+
+    def total_cache_misses(self) -> int:
+        return sum(r.stats.cache_misses for r in self.records)
+
+    def cache_hit_rate(self) -> float:
+        hits = self.total_cache_hits()
+        total = hits + self.total_cache_misses()
+        return hits / total if total else 0.0
+
+    # -- load-balance metrics -----------------------------------------------
+    def per_processor_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {p: 0 for p in range(self.num_processors)}
+        for record in self.records:
+            counts[record.processor] = counts.get(record.processor, 0) + 1
+        return counts
+
+    def stolen_count(self) -> int:
+        return sum(1 for r in self.records if r.stolen)
+
+    def load_imbalance(self) -> float:
+        """max/mean processor load; 1.0 is perfectly balanced."""
+        counts = list(self.per_processor_counts().values())
+        mean = sum(counts) / len(counts) if counts else 0.0
+        return max(counts) / mean if mean else 0.0
+
+    def total_bytes_fetched(self) -> int:
+        return sum(r.stats.bytes_fetched for r in self.records)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table printing and JSON artifacts."""
+        return {
+            "queries": len(self.records),
+            "routing": self.routing,
+            "processors": self.num_processors,
+            "storage_servers": self.num_storage_servers,
+            "makespan_s": self.makespan,
+            "throughput_qps": self.throughput(),
+            "mean_response_ms": self.mean_response_time() * 1e3,
+            "p95_response_ms": self.percentile_response_time(95) * 1e3,
+            "cache_hits": self.total_cache_hits(),
+            "cache_misses": self.total_cache_misses(),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "stolen": self.stolen_count(),
+            "load_imbalance": self.load_imbalance(),
+            "bytes_fetched": self.total_bytes_fetched(),
+        }

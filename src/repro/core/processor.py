@@ -1,0 +1,89 @@
+"""The query processor: a stateless worker with a cache (§2.3).
+
+Processors receive queries from the router over a FIFO inbox, execute them
+against their cache plus the shared storage tier, and acknowledge the
+router on completion — the ack is what triggers the next dispatch, which is
+how the router implements query stealing (§3.2, Requirement 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..costs import CostModel
+from ..sim import Environment, Store
+from ..storage.tier import StorageTier
+from .assets import GraphAssets
+from .cache import ProcessorCache
+from .engine import execute_query
+from .queries import Query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .router import Router
+
+#: Inbox sentinel that shuts a processor down.
+POISON = object()
+
+
+class QueryProcessor:
+    """One processing-tier server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        processor_id: int,
+        tier: StorageTier,
+        assets: GraphAssets,
+        costs: CostModel,
+        cache_capacity_bytes: int,
+        cache_policy: str = "lru",
+        use_cache: bool = True,
+    ) -> None:
+        self.env = env
+        self.processor_id = processor_id
+        self.tier = tier
+        self.assets = assets
+        self.costs = costs
+        self.use_cache = use_cache and cache_capacity_bytes > 0
+        self.cache = ProcessorCache(
+            cache_capacity_bytes if self.use_cache else 0, policy=cache_policy
+        )
+        self.owner_of = assets.owner_array(tier.num_servers)
+        self.queries_executed = 0
+        self.busy_time = 0.0
+        self.alive = True
+        self.inbox: Store = Store(env)
+        self._process = None
+
+    def start(self, router: "Router") -> None:
+        """Begin the worker loop (idempotent per processor)."""
+        if self._process is not None:
+            raise RuntimeError("processor already started")
+        self._process = self.env.process(self._run(router))
+
+    def kill(self) -> None:
+        """Fail the processor: it finishes nothing more (failure injection)."""
+        self.alive = False
+        self.inbox.put(POISON)
+
+    def _run(self, router: "Router"):
+        while True:
+            query = yield self.inbox.get()
+            if query is POISON:
+                break
+            if not self.alive:
+                # Dispatched before the failure but never started: hand the
+                # query back so another processor picks it up.
+                router.on_requeue(self.processor_id, query)
+                break
+            started = self.env.now
+            stats = yield self.env.process(execute_query(self, query))
+            finished = self.env.now
+            self.queries_executed += 1
+            self.busy_time += finished - started
+            router.on_ack(self.processor_id, query, stats, started, finished)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

@@ -1,0 +1,53 @@
+"""The three h-hop traversal query types (§2.2).
+
+Every query carries the node it starts from (``node``), which is the value
+routing strategies operate on, plus per-type parameters. Queries are frozen
+dataclasses so they can be hashed, logged and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+_query_counter = count()
+
+
+def _next_query_id() -> int:
+    return next(_query_counter)
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class: an online query anchored at ``node``."""
+
+    node: int
+    query_id: int = field(default_factory=_next_query_id)
+
+
+@dataclass(frozen=True)
+class NeighborAggregationQuery(Query):
+    """h-hop Neighbor Aggregation: count h-hop neighbors (optionally
+    only those carrying ``label``)."""
+
+    hops: int = 2
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RandomWalkQuery(Query):
+    """h-step Random Walk with Restart from ``node``."""
+
+    steps: int = 2
+    restart_prob: float = 0.15
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ReachabilityQuery(Query):
+    """h-hop Reachability: is ``target`` reachable from ``node``
+    within ``hops`` directed hops?"""
+
+    target: int = 0
+    hops: int = 2

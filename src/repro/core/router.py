@@ -1,0 +1,187 @@
+"""The query router: per-processor queues, ack-driven dispatch, stealing.
+
+Mechanics follow §2.3/§3.2 of the paper: the router keeps one connection
+(and one FIFO queue) per processor, sends a processor its next query only
+after receiving the acknowledgement for the previous one, and lets an idle
+processor *steal* a queued query intended for another processor, so no
+processor idles while work remains. Queue lengths double as the load
+estimate in the load-balanced distances (Eq. 3/7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import Environment, Event
+from .metrics import QueryRecord, QueryStats
+from .processor import QueryProcessor
+from .queries import Query
+from .routing.base import RoutingStrategy
+
+
+@dataclass
+class _PendingInfo:
+    intended: Optional[int]
+    decision_time: float
+    enqueued_at: float
+
+
+class Router:
+    """Routes a workload across the processing tier."""
+
+    def __init__(
+        self,
+        env: Environment,
+        strategy: RoutingStrategy,
+        processors: Sequence[QueryProcessor],
+        steal: bool = True,
+    ) -> None:
+        if not processors:
+            raise ValueError("router needs at least one processor")
+        self.env = env
+        self.strategy = strategy
+        self.processors = list(processors)
+        self.steal = steal
+        num = len(self.processors)
+        self.queues: List[Deque[Query]] = [deque() for _ in range(num)]
+        self.pool: Deque[Query] = deque()
+        self.outstanding: List[Optional[Tuple[Query, bool]]] = [None] * num
+        self.records: List[QueryRecord] = []
+        self.done: Event = env.event()
+        self._pending: Dict[int, _PendingInfo] = {}
+        self._submitted = 0
+        self._completed = 0
+
+    # -- submission ---------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        return len(self.processors)
+
+    def loads(self) -> List[int]:
+        """Queued + in-flight queries per processor (the Eq. 3/7 load)."""
+        return [
+            len(queue) + (1 if busy is not None else 0)
+            for queue, busy in zip(self.queues, self.outstanding)
+        ]
+
+    def submit(self, queries: Sequence[Query]) -> None:
+        """Route a batch of queries and kick every idle processor."""
+        for query in queries:
+            self._submitted += 1
+            target = self.strategy.choose(query, self.loads())
+            self._pending[query.query_id] = _PendingInfo(
+                intended=target,
+                decision_time=self.strategy.decision_time(self.num_processors),
+                enqueued_at=self.env.now,
+            )
+            if target is None:
+                self.pool.append(query)
+            else:
+                if not 0 <= target < self.num_processors:
+                    raise ValueError(
+                        f"strategy chose invalid processor {target}"
+                    )
+                self.strategy.on_dispatch(query, target)
+                self.queues[target].append(query)
+        for processor_id in range(self.num_processors):
+            if self.outstanding[processor_id] is None:
+                self._dispatch(processor_id)
+
+    # -- dispatch & stealing ------------------------------------------------
+    def _take_next(self, processor_id: int) -> Optional[Tuple[Query, bool]]:
+        own = self.queues[processor_id]
+        if own:
+            return own.popleft(), False
+        if self.pool:
+            return self.pool.popleft(), False
+        if self.steal:
+            victim = max(
+                (p for p in range(self.num_processors) if p != processor_id),
+                key=lambda p: len(self.queues[p]),
+                default=None,
+            )
+            if victim is not None and self.queues[victim]:
+                # Steal the most recently enqueued query: the victim keeps
+                # the head entries, which fit its cache best.
+                return self.queues[victim].pop(), True
+        return None
+
+    def _dispatch(self, processor_id: int) -> None:
+        processor = self.processors[processor_id]
+        if not processor.alive:
+            return
+        item = self._take_next(processor_id)
+        if item is None:
+            return
+        query, stolen = item
+        self.outstanding[processor_id] = (query, stolen)
+        processor.inbox.put(query)
+
+    # -- completion ----------------------------------------------------------
+    def on_ack(
+        self,
+        processor_id: int,
+        query: Query,
+        stats: QueryStats,
+        started: float,
+        finished: float,
+    ) -> None:
+        """Completion callback from a processor; triggers the next dispatch."""
+        entry = self.outstanding[processor_id]
+        if entry is None or entry[0].query_id != query.query_id:
+            raise RuntimeError("ack for a query that was not outstanding")
+        _, stolen = entry
+        self.outstanding[processor_id] = None
+        info = self._pending.pop(query.query_id)
+        self.records.append(
+            QueryRecord(
+                query_id=query.query_id,
+                kind=type(query).__name__,
+                node=query.node,
+                intended_processor=info.intended,
+                processor=processor_id,
+                stolen=stolen,
+                decision_time=info.decision_time,
+                enqueued_at=info.enqueued_at,
+                started_at=started,
+                finished_at=finished,
+                stats=stats,
+            )
+        )
+        self._completed += 1
+        if self._completed == self._submitted and not self.done.triggered:
+            self.done.succeed(self._completed)
+            return
+        self._dispatch(processor_id)
+
+    def on_requeue(self, processor_id: int, query: Query) -> None:
+        """A dead processor returned a query it never started executing."""
+        entry = self.outstanding[processor_id]
+        if entry is None or entry[0].query_id != query.query_id:
+            raise RuntimeError("requeue for a query that was not outstanding")
+        self.outstanding[processor_id] = None
+        self.pool.appendleft(query)
+        for other in range(self.num_processors):
+            if self.outstanding[other] is None:
+                self._dispatch(other)
+
+    # -- fault tolerance -------------------------------------------------------
+    def remove_processor(self, processor_id: int) -> int:
+        """Drain a processor: no new dispatches; its queue redistributes.
+
+        Decoupling makes this safe — any processor can serve any query — so
+        the queued work simply moves to the shared pool. Returns how many
+        queries were redistributed. An in-flight query finishes normally
+        (graceful removal).
+        """
+        processor = self.processors[processor_id]
+        processor.alive = False
+        moved = len(self.queues[processor_id])
+        while self.queues[processor_id]:
+            self.pool.append(self.queues[processor_id].popleft())
+        for other in range(self.num_processors):
+            if other != processor_id and self.outstanding[other] is None:
+                self._dispatch(other)
+        return moved

@@ -1,0 +1,15 @@
+"""Routing strategies: two baselines (§3.3) and two smart schemes (§3.4)."""
+
+from .base import RoutingStrategy
+from .embed import EmbedRouting
+from .hashing import HashRouting
+from .landmark import LandmarkRouting
+from .next_ready import NextReadyRouting
+
+__all__ = [
+    "EmbedRouting",
+    "HashRouting",
+    "LandmarkRouting",
+    "NextReadyRouting",
+    "RoutingStrategy",
+]

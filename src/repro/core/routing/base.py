@@ -1,0 +1,47 @@
+"""Routing strategy interface (§3).
+
+A strategy inspects a query and the router's per-processor load estimates
+(queue length + outstanding query) and either names a target processor or
+returns ``None`` to place the query in the router's shared pool (pure
+next-ready dispatch). Smart strategies combine their distance signal with
+the load via the paper's load-balanced distance (Eq. 3 / Eq. 7):
+
+    d_LB(u, p) = d(u, p) + load(p) / load_factor
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from ..queries import Query
+
+#: Fixed overhead of any routing decision (table lookup, queue push).
+BASE_DECISION_TIME = 0.2e-6
+#: Incremental cost per processor-distance entry scanned (O(P) or O(PD)).
+PER_ENTRY_DECISION_TIME = 0.01e-6
+
+
+class RoutingStrategy(ABC):
+    """Chooses a processor for each query."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+        """Target processor index, or None for the shared next-ready pool.
+
+        ``loads`` is the router's per-processor busyness estimate (queued
+        plus in-flight queries).
+        """
+
+    def on_dispatch(self, query: Query, processor: int) -> None:
+        """Hook invoked when the routing decision is recorded (EMA updates)."""
+
+    def decision_time(self, num_processors: int) -> float:
+        """Simulated router time to make one decision."""
+        return BASE_DECISION_TIME
+
+    def load_penalty(self, loads: Sequence[int], load_factor: float):
+        """Eq. 3/7 second term for every processor."""
+        return [load / load_factor for load in loads]

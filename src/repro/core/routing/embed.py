@@ -1,0 +1,66 @@
+"""Embed routing (§3.4.2).
+
+The router holds every node's coordinates plus one exponential moving
+average per processor summarising the queries it has sent there (Eq. 5).
+A query goes to the processor whose EMA point is closest to the query
+node's coordinates, with the Eq. 7 load-balanced distance. The EMA adapts
+to workload shifts on its own, which is what lets embed routing "bypass
+the expensive graph partitioning and re-partitioning problems".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...embedding import GraphEmbedding, ProcessorEMATracker
+from ..queries import Query
+from .base import (
+    BASE_DECISION_TIME,
+    PER_ENTRY_DECISION_TIME,
+    RoutingStrategy,
+)
+
+
+class EmbedRouting(RoutingStrategy):
+    name = "embed"
+
+    def __init__(
+        self,
+        embedding: GraphEmbedding,
+        num_processors: int,
+        alpha: float = 0.5,
+        load_factor: float = 20.0,
+        seed: int = 0,
+    ) -> None:
+        if load_factor <= 0:
+            raise ValueError("load_factor must be positive")
+        self.embedding = embedding
+        self.load_factor = load_factor
+        self.num_processors = num_processors
+        self.tracker = ProcessorEMATracker.for_embedding(
+            embedding.coords, num_processors, alpha=alpha, seed=seed
+        )
+        self.fallbacks = 0
+
+    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+        coords = self.embedding.coordinates_of(query.node)
+        if coords is None:
+            self.fallbacks += 1
+            return query.node % self.num_processors
+        distances = self.tracker.distances(coords)
+        balanced = distances + np.asarray(loads, dtype=np.float64) / self.load_factor
+        return int(np.argmin(balanced))
+
+    def on_dispatch(self, query: Query, processor: int) -> None:
+        """Fold the routed query's coordinates into the processor's EMA."""
+        coords = self.embedding.coordinates_of(query.node)
+        if coords is not None:
+            self.tracker.update(processor, coords)
+
+    def decision_time(self, num_processors: int) -> float:
+        # O(P * D): distance from the query point to every processor mean.
+        return BASE_DECISION_TIME + (
+            PER_ENTRY_DECISION_TIME * num_processors * self.embedding.dim
+        )

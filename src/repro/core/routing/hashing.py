@@ -1,0 +1,28 @@
+"""Hash routing (§3.3.2): Target = Query-Node-Id MOD Number-Of-Processors.
+
+Repeats of the *same* query node land on the same processor (repeat
+locality) but nearby nodes scatter — no topology-aware locality. Query
+stealing at the router provides the load balancing (Eq. 1 discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..queries import Query
+from .base import BASE_DECISION_TIME, RoutingStrategy
+
+
+class HashRouting(RoutingStrategy):
+    name = "hash"
+
+    def __init__(self, num_processors: int) -> None:
+        if num_processors < 1:
+            raise ValueError("need at least one processor")
+        self.num_processors = num_processors
+
+    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+        return query.node % self.num_processors
+
+    def decision_time(self, num_processors: int) -> float:
+        return BASE_DECISION_TIME

@@ -1,0 +1,46 @@
+"""Landmark routing (§3.4.1).
+
+The router holds the precomputed d(u, p) table (min distance from node u to
+any landmark assigned to processor p) and routes to the processor with the
+smallest load-balanced distance (Eq. 3). Nodes the index does not know
+(e.g. added after preprocessing, before their incremental indexing) fall
+back to hash routing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...landmarks import LandmarkIndex
+from ..queries import Query
+from .base import (
+    BASE_DECISION_TIME,
+    PER_ENTRY_DECISION_TIME,
+    RoutingStrategy,
+)
+
+
+class LandmarkRouting(RoutingStrategy):
+    name = "landmark"
+
+    def __init__(self, index: LandmarkIndex, load_factor: float = 20.0) -> None:
+        if load_factor <= 0:
+            raise ValueError("load_factor must be positive")
+        self.index = index
+        self.load_factor = load_factor
+        self.fallbacks = 0  # queries routed without landmark information
+
+    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+        distances = self.index.processor_distances(query.node)
+        num_processors = len(loads)
+        if distances is None or not np.isfinite(distances).any():
+            self.fallbacks += 1
+            return query.node % num_processors
+        balanced = distances + np.asarray(loads, dtype=np.float64) / self.load_factor
+        return int(np.argmin(balanced))
+
+    def decision_time(self, num_processors: int) -> float:
+        # O(P): scan the precomputed distance row once.
+        return BASE_DECISION_TIME + PER_ENTRY_DECISION_TIME * num_processors

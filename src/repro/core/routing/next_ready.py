@@ -1,0 +1,23 @@
+"""Next-Ready routing (§3.3.1): dispatch to whichever processor frees first.
+
+The strategy never names a processor; queries sit in the router's shared
+pool and are pulled by processors as they acknowledge — trivially balanced,
+zero preprocessing, but cache-oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..queries import Query
+from .base import BASE_DECISION_TIME, RoutingStrategy
+
+
+class NextReadyRouting(RoutingStrategy):
+    name = "next_ready"
+
+    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+        return None
+
+    def decision_time(self, num_processors: int) -> float:
+        return BASE_DECISION_TIME

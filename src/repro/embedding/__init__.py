@@ -1,0 +1,20 @@
+"""Graph embedding for smart routing (Simplex Downhill, LMDS, EMA)."""
+
+from .embedder import (
+    GraphEmbedding,
+    classical_mds,
+    embed_landmarks,
+    lmds_triangulate,
+)
+from .ema import ProcessorEMATracker
+from .simplex import batch_nelder_mead, nelder_mead
+
+__all__ = [
+    "GraphEmbedding",
+    "ProcessorEMATracker",
+    "batch_nelder_mead",
+    "classical_mds",
+    "embed_landmarks",
+    "lmds_triangulate",
+    "nelder_mead",
+]

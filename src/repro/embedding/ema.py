@@ -1,0 +1,80 @@
+"""Per-processor exponential moving average of routed query coordinates.
+
+Embed routing infers each processor's cache contents from the history of
+queries sent to it (§3.4.2): the router keeps one EMA point per processor
+(Eq. 5) and routes to the processor whose EMA is nearest the query node's
+coordinates (Eq. 6). LRU eviction favors recent entries, which is why an
+*exponential* average matches the cache state well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ProcessorEMATracker:
+    """EMA of query coordinates, one mean point per processor."""
+
+    def __init__(
+        self,
+        num_processors: int,
+        dim: int,
+        alpha: float = 0.5,
+        bounds: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        """``bounds`` is an optional ``(2, dim)`` array of (low, high) used
+        to draw the initial means uniformly at random (the paper
+        initialises means uniformly at random)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if num_processors < 1:
+            raise ValueError("need at least one processor")
+        self.alpha = alpha
+        rng = np.random.default_rng(seed)
+        if bounds is None:
+            low, high = -1.0, 1.0
+            self.means = rng.uniform(low, high, size=(num_processors, dim))
+        else:
+            low, high = bounds[0], bounds[1]
+            self.means = rng.uniform(
+                low[None, :], high[None, :], size=(num_processors, dim)
+            )
+
+    @property
+    def num_processors(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.means.shape[1]
+
+    def update(self, processor: int, coords: np.ndarray) -> None:
+        """Eq. 5: mean(p) <- alpha * mean(p) + (1 - alpha) * coords(v)."""
+        self.means[processor] = (
+            self.alpha * self.means[processor] + (1.0 - self.alpha) * coords
+        )
+
+    def distances(self, coords: np.ndarray) -> np.ndarray:
+        """Eq. 6: L2 distance from ``coords`` to every processor's mean."""
+        return np.linalg.norm(self.means - coords[None, :], axis=1)
+
+    @classmethod
+    def for_embedding(
+        cls,
+        coords: np.ndarray,
+        num_processors: int,
+        alpha: float = 0.5,
+        seed: int = 0,
+    ) -> "ProcessorEMATracker":
+        """Tracker with initial means drawn inside the embedding's bounding box."""
+        bounds = np.stack([coords.min(axis=0), coords.max(axis=0)])
+        return cls(
+            num_processors,
+            coords.shape[1],
+            alpha=alpha,
+            bounds=bounds,
+            seed=seed,
+        )

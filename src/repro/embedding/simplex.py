@@ -1,0 +1,184 @@
+"""Simplex Downhill (Nelder–Mead) minimizers.
+
+The paper embeds the graph by minimizing relative distance error "by many
+off-the-shelf techniques, e.g., the Simplex Downhill algorithm that we apply
+in this work" (§3.4.2). Two implementations live here:
+
+* :func:`nelder_mead` — the textbook scalar algorithm, used for landmark
+  placement (few points) and for embedding single new nodes on updates;
+* :func:`batch_nelder_mead` — a vectorised variant that advances one
+  independent simplex *per problem* simultaneously with numpy, so embedding
+  every node of a 10^4–10^5-node graph takes seconds rather than hours.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+# Standard Nelder–Mead coefficients.
+ALPHA = 1.0  # reflection
+GAMMA = 2.0  # expansion
+RHO = 0.5  # contraction
+SIGMA = 0.5  # shrink
+
+
+def _initial_simplex(x0: np.ndarray, step: float) -> np.ndarray:
+    """Axis-aligned start simplex around ``x0`` — shape ``(D+1, D)``."""
+    dim = x0.shape[0]
+    simplex = np.tile(x0, (dim + 1, 1))
+    for i in range(dim):
+        delta = step if x0[i] == 0 else step * max(abs(x0[i]), 1.0)
+        simplex[i + 1, i] += delta
+    return simplex
+
+
+def nelder_mead(
+    func: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    max_iter: int = 200,
+    xtol: float = 1e-6,
+    ftol: float = 1e-9,
+    step: float = 0.5,
+) -> Tuple[np.ndarray, float]:
+    """Minimize ``func`` from ``x0``; returns ``(best_x, best_f)``."""
+    x0 = np.asarray(x0, dtype=np.float64)
+    simplex = _initial_simplex(x0, step)
+    values = np.array([func(x) for x in simplex])
+
+    for _ in range(max_iter):
+        order = np.argsort(values, kind="stable")
+        simplex, values = simplex[order], values[order]
+        if (
+            np.abs(values[-1] - values[0]) <= ftol
+            and np.abs(simplex[1:] - simplex[0]).max() <= xtol
+        ):
+            break
+
+        centroid = simplex[:-1].mean(axis=0)
+        worst = simplex[-1]
+        reflected = centroid + ALPHA * (centroid - worst)
+        f_reflected = func(reflected)
+
+        if f_reflected < values[0]:
+            expanded = centroid + GAMMA * (reflected - centroid)
+            f_expanded = func(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+        elif f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+        else:
+            if f_reflected < values[-1]:
+                contracted = centroid + RHO * (reflected - centroid)
+            else:
+                contracted = centroid + RHO * (worst - centroid)
+            f_contracted = func(contracted)
+            if f_contracted < min(f_reflected, values[-1]):
+                simplex[-1], values[-1] = contracted, f_contracted
+            else:  # shrink toward the best vertex
+                simplex[1:] = simplex[0] + SIGMA * (simplex[1:] - simplex[0])
+                values[1:] = np.array([func(x) for x in simplex[1:]])
+
+    best = int(np.argmin(values))
+    return simplex[best], float(values[best])
+
+
+def batch_nelder_mead(
+    func: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    max_iter: int = 150,
+    ftol: float = 1e-9,
+    xtol: float = 1e-6,
+    step: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Minimize N independent D-dimensional problems simultaneously.
+
+    ``func`` maps an ``(N, D)`` batch of points to ``(N,)`` objective
+    values, where row ``i`` belongs to problem ``i``; ``x0`` is ``(N, D)``.
+    Every problem runs the standard Nelder–Mead update, selected per row by
+    boolean masks. Returns ``(best_points (N, D), best_values (N,))``.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    n, dim = x0.shape
+    # simplex: (N, D+1, D); values: (N, D+1)
+    simplex = np.repeat(x0[:, None, :], dim + 1, axis=1)
+    for i in range(dim):
+        delta = np.where(
+            x0[:, i] == 0, step, step * np.maximum(np.abs(x0[:, i]), 1.0)
+        )
+        simplex[:, i + 1, i] += delta
+    values = np.stack(
+        [func(simplex[:, v, :]) for v in range(dim + 1)], axis=1
+    )
+
+    rows = np.arange(n)
+    for _ in range(max_iter):
+        order = np.argsort(values, axis=1, kind="stable")
+        values = np.take_along_axis(values, order, axis=1)
+        simplex = np.take_along_axis(simplex, order[:, :, None], axis=1)
+
+        value_spread = np.abs(values[:, -1] - values[:, 0])
+        x_spread = np.abs(simplex - simplex[:, 0:1, :]).max(axis=(1, 2))
+        # A problem is done only when both values and positions collapsed;
+        # checking values alone stalls on simplices straddling an optimum.
+        active = (value_spread > ftol) | (x_spread > xtol)
+        if not active.any():
+            break
+
+        centroid = simplex[:, :-1, :].mean(axis=1)  # (N, D)
+        worst = simplex[:, -1, :]
+        reflected = centroid + ALPHA * (centroid - worst)
+        f_reflected = func(reflected)
+
+        # Candidate replacement point/value per row, refined branch by branch.
+        new_point = simplex[:, -1, :].copy()
+        new_value = values[:, -1].copy()
+
+        better_than_best = f_reflected < values[:, 0]
+        middle = (~better_than_best) & (f_reflected < values[:, -2])
+
+        # Expansion (only meaningful where reflection beat the best).
+        expanded = centroid + GAMMA * (reflected - centroid)
+        f_expanded = func(expanded)
+        take_expanded = better_than_best & (f_expanded < f_reflected)
+        take_reflected = (better_than_best & ~take_expanded) | middle
+
+        # Contraction for the remaining rows.
+        needs_contract = ~(better_than_best | middle)
+        outside = needs_contract & (f_reflected < values[:, -1])
+        contract_base = np.where(outside[:, None], reflected, worst)
+        contracted = centroid + RHO * (contract_base - centroid)
+        f_contracted = func(contracted)
+        take_contracted = needs_contract & (
+            f_contracted < np.minimum(f_reflected, values[:, -1])
+        )
+        needs_shrink = needs_contract & ~take_contracted
+
+        for mask, point, value in (
+            (take_expanded, expanded, f_expanded),
+            (take_reflected, reflected, f_reflected),
+            (take_contracted, contracted, f_contracted),
+        ):
+            use = mask & active
+            new_point[use] = point[use]
+            new_value[use] = value[use]
+
+        replace = active & ~needs_shrink
+        simplex[replace, -1, :] = new_point[replace]
+        values[replace, -1] = new_value[replace]
+
+        shrink = active & needs_shrink
+        if shrink.any():
+            best = simplex[shrink, 0:1, :]
+            simplex[shrink, 1:, :] = best + SIGMA * (
+                simplex[shrink, 1:, :] - best
+            )
+            for v in range(1, dim + 1):
+                values[shrink, v] = func(simplex[:, v, :])[shrink]
+
+    order = np.argsort(values, axis=1, kind="stable")
+    best_idx = order[:, 0]
+    return simplex[rows, best_idx, :], values[rows, best_idx]

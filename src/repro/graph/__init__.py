@@ -1,0 +1,40 @@
+"""Graph data model, generators and traversal substrate."""
+
+from .csr import CSRGraph
+from .digraph import Graph, GraphError
+from .generators import (
+    barabasi_albert,
+    community_graph,
+    copying_model,
+    erdos_renyi,
+    ring_of_cliques,
+    rmat,
+    watts_strogatz,
+)
+from .traversal import (
+    bfs_distances,
+    bidirectional_reachability,
+    k_hop_neighborhood,
+    neighbor_aggregation,
+    per_hop_frontiers,
+    random_walk_with_restart,
+)
+
+__all__ = [
+    "CSRGraph",
+    "Graph",
+    "GraphError",
+    "barabasi_albert",
+    "bfs_distances",
+    "bidirectional_reachability",
+    "community_graph",
+    "copying_model",
+    "erdos_renyi",
+    "k_hop_neighborhood",
+    "neighbor_aggregation",
+    "per_hop_frontiers",
+    "random_walk_with_restart",
+    "ring_of_cliques",
+    "rmat",
+    "watts_strogatz",
+]

@@ -1,0 +1,165 @@
+"""Compressed-sparse-row view of a graph with vectorised traversals.
+
+Landmark preprocessing runs |L| full breadth-first searches and the workload
+generator samples thousands of h-hop neighbourhoods. Pure-Python BFS would
+dominate experiment runtime, so analysis-side traversals run on a CSR array
+view with numpy frontier expansion. The simulated *cluster* never touches
+this class — query processors work on adjacency records fetched from the
+storage tier — CSR is purely an offline analysis accelerator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .digraph import Graph
+
+UNREACHED = -1
+
+
+class CSRGraph:
+    """Immutable CSR adjacency with numpy-vectorised BFS.
+
+    Node ids are compacted to ``0..n-1`` in sorted order of the original
+    ids; :attr:`node_ids` maps compact index back to the original id and
+    :meth:`index_of` the other way.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        node_ids: np.ndarray,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.node_ids = node_ids
+        self._index = {int(nid): i for i, nid in enumerate(node_ids)}
+
+    @classmethod
+    def from_graph(cls, graph: Graph, direction: str = "both") -> "CSRGraph":
+        """Build from a :class:`Graph`.
+
+        ``direction`` selects which adjacency goes into the rows:
+
+        * ``"out"`` — successors only;
+        * ``"in"`` — predecessors only;
+        * ``"both"`` — the bi-directed view (deduplicated), which is what
+          the paper's landmark and embedding preprocessing uses (§3.4.1).
+        """
+        if direction not in ("out", "in", "both"):
+            raise ValueError(f"bad direction: {direction!r}")
+        node_ids = np.array(sorted(graph.nodes()), dtype=np.int64)
+        index = {int(nid): i for i, nid in enumerate(node_ids)}
+        n = len(node_ids)
+        counts = np.zeros(n + 1, dtype=np.int64)
+        rows: List[Sequence[int]] = [()] * n
+        for nid in node_ids:
+            node = int(nid)
+            if direction == "out":
+                adj: Iterable[int] = graph.out_neighbors(node)
+            elif direction == "in":
+                adj = graph.in_neighbors(node)
+            else:
+                adj = graph.neighbors(node)
+            row = [index[v] for v in adj]
+            rows[index[node]] = row
+            counts[index[node] + 1] = len(row)
+        indptr = np.cumsum(counts)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, row in enumerate(rows):
+            indices[indptr[i]:indptr[i + 1]] = row
+        return cls(indptr, indices, node_ids)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored adjacency entries (directed rows)."""
+        return int(self.indptr[-1])
+
+    def index_of(self, node_id: int) -> int:
+        """Compact index of an original node id."""
+        return self._index[node_id]
+
+    def degrees(self) -> np.ndarray:
+        """Row lengths (degree in the chosen direction) per compact index."""
+        return np.diff(self.indptr)
+
+    def neighbors_of(self, index: int) -> np.ndarray:
+        """Compact-index neighbors of a compact-index node."""
+        return self.indices[self.indptr[index]:self.indptr[index + 1]]
+
+    def gather_neighbors(self, frontier: np.ndarray) -> np.ndarray:
+        """Public alias of :meth:`_gather` for frontier expansion."""
+        return self._gather(frontier)
+
+    def _gather(self, frontier: np.ndarray) -> np.ndarray:
+        """All neighbors of every frontier node, concatenated (with dups)."""
+        starts = self.indptr[frontier]
+        counts = self.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Vectorised multi-slice gather: for each frontier node, the range
+        # [start, start+count) into `indices`, laid out back to back.
+        offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        return self.indices[np.arange(total) + offsets]
+
+    def bfs_distances(
+        self,
+        sources: Iterable[int],
+        max_hops: Optional[int] = None,
+    ) -> np.ndarray:
+        """Hop distances from ``sources`` (compact indices) to every node.
+
+        Returns an ``int32`` array where unreached nodes hold ``-1``.
+        """
+        dist = np.full(self.num_nodes, UNREACHED, dtype=np.int32)
+        frontier = np.unique(np.asarray(list(sources), dtype=np.int64))
+        if frontier.size == 0:
+            return dist
+        dist[frontier] = 0
+        hops = 0
+        while frontier.size:
+            if max_hops is not None and hops >= max_hops:
+                break
+            hops += 1
+            neighbors = self._gather(frontier)
+            if neighbors.size == 0:
+                break
+            fresh = np.unique(neighbors[dist[neighbors] == UNREACHED])
+            if fresh.size == 0:
+                break
+            dist[fresh] = hops
+            frontier = fresh
+        return dist
+
+    def k_hop_frontiers(self, source: int, hops: int) -> List[np.ndarray]:
+        """Per-hop frontiers from ``source``: ``[hop1, hop2, ...]``.
+
+        ``source`` itself is not included; each array holds the compact
+        indices first reached at that hop. This is the exact node set a
+        query processor must have adjacency data for when answering an
+        h-hop neighbourhood query starting at ``source``.
+        """
+        dist = self.bfs_distances([source], max_hops=hops)
+        return [
+            np.flatnonzero(dist == hop).astype(np.int64)
+            for hop in range(1, hops + 1)
+        ]
+
+    def neighborhood_size(self, source: int, hops: int) -> int:
+        """|N_h(source)| — nodes within ``hops`` hops, excluding the source."""
+        dist = self.bfs_distances([source], max_hops=hops)
+        return int(((dist > 0) & (dist <= hops)).sum())
+
+    def eccentricity_lower_bound(self, source: int) -> int:
+        """Largest finite BFS distance from ``source``."""
+        dist = self.bfs_distances([source])
+        reached = dist[dist >= 0]
+        return int(reached.max()) if reached.size else 0

@@ -1,0 +1,60 @@
+"""Graph serialization: edge lists and compact binary (npz) formats."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .digraph import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``u<TAB>v`` lines, one per directed edge, sorted for stability."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u in sorted(graph.nodes()):
+            for v in sorted(graph.out_neighbors(u)):
+                handle.write(f"{u}\t{v}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a ``u<TAB>v`` edge list; ``#`` lines are comments."""
+    graph = Graph()
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            graph.add_edge(int(parts[0]), int(parts[1]))
+    return graph
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Save as flat numpy arrays (sources, targets, isolated nodes)."""
+    edges = list(graph.edges())
+    sources = np.array([u for u, _ in edges], dtype=np.int64)
+    targets = np.array([v for _, v in edges], dtype=np.int64)
+    touched = set(sources.tolist()) | set(targets.tolist())
+    isolated = np.array(
+        sorted(node for node in graph.nodes() if node not in touched),
+        dtype=np.int64,
+    )
+    np.savez_compressed(path, sources=sources, targets=targets, isolated=isolated)
+
+
+def load_npz(path: PathLike) -> Graph:
+    """Inverse of :func:`save_npz`."""
+    data = np.load(path)
+    graph = Graph()
+    for node in data["isolated"]:
+        graph.add_node(int(node))
+    for u, v in zip(data["sources"], data["targets"]):
+        graph.add_edge(int(u), int(v))
+    return graph

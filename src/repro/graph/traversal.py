@@ -1,0 +1,150 @@
+"""Pure-Python traversal primitives on :class:`Graph`.
+
+These are the reference implementations of the paper's three h-hop query
+kernels (§2.2). The simulated query processors use the same logic but fetch
+adjacency from the storage tier; these functions operate directly on a local
+graph and serve as ground truth in tests and as building blocks for the
+workload generator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from .digraph import Graph, NodeId
+
+Direction = str  # "out", "in", or "both"
+
+
+def _adjacency(graph: Graph, direction: Direction) -> Callable[[NodeId], Iterable[NodeId]]:
+    if direction == "out":
+        return graph.out_neighbors
+    if direction == "in":
+        return graph.in_neighbors
+    if direction == "both":
+        return graph.neighbors
+    raise ValueError(f"bad direction: {direction!r}")
+
+
+def bfs_distances(
+    graph: Graph,
+    source: NodeId,
+    max_hops: Optional[int] = None,
+    direction: Direction = "both",
+) -> Dict[NodeId, int]:
+    """Hop distance from ``source`` to every reachable node (within bound)."""
+    adjacency = _adjacency(graph, direction)
+    dist: Dict[NodeId, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        hop = dist[node]
+        if max_hops is not None and hop >= max_hops:
+            continue
+        for neighbor in adjacency(node):
+            if neighbor not in dist:
+                dist[neighbor] = hop + 1
+                frontier.append(neighbor)
+    return dist
+
+
+def k_hop_neighborhood(
+    graph: Graph,
+    source: NodeId,
+    hops: int,
+    direction: Direction = "both",
+) -> Set[NodeId]:
+    """N_h(source): nodes within ``hops`` hops, excluding the source."""
+    dist = bfs_distances(graph, source, max_hops=hops, direction=direction)
+    return {node for node, d in dist.items() if 0 < d <= hops}
+
+
+def per_hop_frontiers(
+    graph: Graph,
+    source: NodeId,
+    hops: int,
+    direction: Direction = "both",
+) -> List[List[NodeId]]:
+    """Nodes first reached at each hop: ``[hop1, hop2, ...]``."""
+    dist = bfs_distances(graph, source, max_hops=hops, direction=direction)
+    frontiers: List[List[NodeId]] = [[] for _ in range(hops)]
+    for node, d in dist.items():
+        if 0 < d <= hops:
+            frontiers[d - 1].append(node)
+    return frontiers
+
+
+def neighbor_aggregation(
+    graph: Graph,
+    source: NodeId,
+    hops: int,
+    label=None,
+    direction: Direction = "both",
+) -> int:
+    """h-hop Neighbor Aggregation (paper query 1).
+
+    Counts nodes within ``hops`` hops; with ``label`` set, counts only
+    nodes carrying that label (the "occurrences of a specific label"
+    variant).
+    """
+    neighborhood = k_hop_neighborhood(graph, source, hops, direction)
+    if label is None:
+        return len(neighborhood)
+    return sum(1 for node in neighborhood if graph.node_label(node) == label)
+
+
+def random_walk_with_restart(
+    graph: Graph,
+    source: NodeId,
+    steps: int,
+    restart_prob: float = 0.15,
+    rng: Optional[random.Random] = None,
+    direction: Direction = "both",
+) -> List[NodeId]:
+    """h-step Random Walk with Restart (paper query 2).
+
+    Returns the visited node sequence (length ``steps + 1`` including the
+    start). At each step the walk jumps to a uniform neighbor, or back to
+    the source with probability ``restart_prob``. A node with no neighbors
+    forces a restart.
+    """
+    if rng is None:
+        rng = random.Random(0)
+    adjacency = _adjacency(graph, direction)
+    path = [source]
+    current = source
+    for _ in range(steps):
+        neighbors = list(adjacency(current))
+        if not neighbors or rng.random() < restart_prob:
+            current = source
+        else:
+            current = neighbors[rng.randrange(len(neighbors))]
+        path.append(current)
+    return path
+
+
+def bidirectional_reachability(
+    graph: Graph,
+    source: NodeId,
+    target: NodeId,
+    hops: int,
+) -> bool:
+    """h-hop Reachability via bidirectional BFS (paper query 3).
+
+    Searches forward (out-edges) from ``source`` and backward (in-edges)
+    from ``target``, which is possible because the store keeps both edge
+    directions; returns True iff a directed path of length <= ``hops``
+    exists.
+    """
+    if source == target:
+        return True
+    if hops <= 0:
+        return False
+    forward_hops = (hops + 1) // 2
+    backward_hops = hops // 2
+    forward = bfs_distances(graph, source, max_hops=forward_hops, direction="out")
+    backward = bfs_distances(graph, target, max_hops=backward_hops, direction="in")
+    meet = forward.keys() & backward.keys()
+    return any(forward[node] + backward[node] <= hops for node in meet)

@@ -1,0 +1,15 @@
+"""Landmark machinery for smart routing (selection, BFS tables, pivots)."""
+
+from .assignment import assign_landmarks_to_processors, node_processor_distances
+from .distances import UNREACHABLE, LandmarkDistances
+from .index import LandmarkIndex
+from .selection import select_landmarks
+
+__all__ = [
+    "LandmarkDistances",
+    "LandmarkIndex",
+    "UNREACHABLE",
+    "assign_landmarks_to_processors",
+    "node_processor_distances",
+    "select_landmarks",
+]

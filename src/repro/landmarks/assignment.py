@@ -1,0 +1,100 @@
+"""Assigning landmarks to query processors via pivot landmarks (§3.4.1).
+
+Every processor receives one "pivot" landmark, chosen so pivots are as far
+from each other as possible (farthest-pair seed + farthest-point traversal);
+each remaining landmark joins the processor of its closest pivot.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .distances import UNREACHABLE
+
+
+def _masked(pair_matrix: np.ndarray) -> np.ndarray:
+    """Pair distances with UNREACHABLE replaced by a large finite value.
+
+    Disconnected landmark pairs are treated as maximally far apart, which
+    naturally spreads pivots across components.
+    """
+    far = pair_matrix.max() + 1 if pair_matrix.size else 1
+    out = pair_matrix.astype(np.float64).copy()
+    out[pair_matrix == UNREACHABLE] = far + 1
+    return out
+
+
+def assign_landmarks_to_processors(
+    pair_matrix: np.ndarray,
+    num_processors: int,
+) -> List[List[int]]:
+    """Partition landmark indices ``0..L-1`` into per-processor groups.
+
+    ``pair_matrix`` is the |L| x |L| landmark distance matrix. Returns a
+    list of ``num_processors`` lists of landmark indices. When there are
+    fewer landmarks than processors, trailing processors receive empty
+    groups (they still serve stolen queries).
+    """
+    if num_processors < 1:
+        raise ValueError("need at least one processor")
+    num_landmarks = pair_matrix.shape[0]
+    if num_landmarks == 0:
+        raise ValueError("no landmarks to assign")
+    if pair_matrix.shape[0] != pair_matrix.shape[1]:
+        raise ValueError("pair matrix must be square")
+
+    groups: List[List[int]] = [[] for _ in range(num_processors)]
+    if num_landmarks == 1:
+        groups[0].append(0)
+        return groups
+
+    dist = _masked(pair_matrix)
+    num_pivots = min(num_processors, num_landmarks)
+
+    # First two pivots: the farthest-apart landmark pair.
+    flat = int(np.argmax(dist))
+    first, second = divmod(flat, num_landmarks)
+    pivots = [first]
+    if num_pivots > 1:
+        pivots.append(second)
+    # Each further pivot maximizes its distance to all chosen pivots.
+    while len(pivots) < num_pivots:
+        to_pivots = dist[pivots, :].min(axis=0)
+        to_pivots[pivots] = -1.0
+        pivots.append(int(np.argmax(to_pivots)))
+
+    for processor, pivot in enumerate(pivots):
+        groups[processor].append(pivot)
+
+    # Remaining landmarks attach to the processor of their closest pivot.
+    pivot_rows = dist[pivots, :]
+    for landmark in range(num_landmarks):
+        if landmark in pivots:
+            continue
+        closest = int(np.argmin(pivot_rows[:, landmark]))
+        groups[closest].append(landmark)
+    return groups
+
+
+def node_processor_distances(
+    landmark_matrix: np.ndarray,
+    groups: List[List[int]],
+) -> np.ndarray:
+    """The router's d(u, p) table: ``(n, P)`` float32 (§3.4.1).
+
+    ``d(u, p)`` is the minimum distance from ``u`` to any landmark assigned
+    to processor ``p``; processors with no landmarks, and nodes unreachable
+    from all of a processor's landmarks, get ``+inf`` so they are never the
+    preferred target (queries still reach them via stealing).
+    """
+    num_nodes = landmark_matrix.shape[1]
+    table = np.full((num_nodes, len(groups)), np.inf, dtype=np.float32)
+    for processor, group in enumerate(groups):
+        if not group:
+            continue
+        rows = landmark_matrix[group, :].astype(np.float32)
+        rows[rows == UNREACHABLE] = np.inf
+        table[:, processor] = rows.min(axis=0)
+    return table

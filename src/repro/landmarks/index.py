@@ -1,0 +1,187 @@
+"""The landmark routing index: selection + distances + assignment + updates.
+
+This is the router-resident structure behind landmark routing: the
+``(n, P)`` node-to-processor distance table (O(nP) storage, §3.4.1), plus
+the incremental maintenance the paper describes for graph updates — new
+nodes get distances from their neighbors' distances, edge updates refresh
+the endpoints and their neighbors up to 2 hops, and a periodic full rebuild
+resets accumulated approximation error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.digraph import Graph
+from ..graph.traversal import bfs_distances
+from .assignment import assign_landmarks_to_processors, node_processor_distances
+from .distances import UNREACHABLE, LandmarkDistances
+from .selection import select_landmarks
+
+
+class LandmarkIndex:
+    """Per-node processor distances derived from landmark BFS tables."""
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        landmark_node_ids: List[int],
+        landmark_matrix: np.ndarray,
+        groups: List[List[int]],
+        table: np.ndarray,
+    ) -> None:
+        self.node_ids = node_ids
+        self.landmark_node_ids = landmark_node_ids
+        self.groups = groups
+        self._row: Dict[int, int] = {int(n): i for i, n in enumerate(node_ids)}
+        # Distances as float32 with +inf for "unreachable": uniform math for
+        # the base matrix and incremental overlays.
+        base = landmark_matrix.astype(np.float32)
+        base[landmark_matrix == UNREACHABLE] = np.inf
+        self._landmark_dist = base  # (L, n)
+        self._table = table.astype(np.float32)  # (n, P)
+        self._extra_landmark: Dict[int, np.ndarray] = {}
+        self._extra_table: Dict[int, np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        num_processors: int,
+        num_landmarks: int = 96,
+        min_separation: int = 3,
+        csr: Optional[CSRGraph] = None,
+    ) -> "LandmarkIndex":
+        """Full preprocessing pass over ``graph``.
+
+        Pass a prebuilt bi-directed ``csr`` to avoid rebuilding it when the
+        caller already has one (benchmark harnesses reuse it heavily).
+        """
+        if csr is None:
+            csr = CSRGraph.from_graph(graph, direction="both")
+        landmarks = select_landmarks(csr, num_landmarks, min_separation)
+        if not landmarks:
+            raise ValueError("graph yielded no usable landmarks")
+        distances = LandmarkDistances.compute(csr, landmarks)
+        groups = assign_landmarks_to_processors(
+            distances.pair_matrix(), num_processors
+        )
+        table = node_processor_distances(distances.matrix, groups)
+        landmark_node_ids = [int(csr.node_ids[l]) for l in landmarks]
+        return cls(csr.node_ids, landmark_node_ids, distances.matrix, groups, table)
+
+    # -- lookups ------------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        return self._table.shape[1]
+
+    @property
+    def num_landmarks(self) -> int:
+        return self._landmark_dist.shape[0]
+
+    def knows(self, node_id: int) -> bool:
+        return node_id in self._row or node_id in self._extra_table
+
+    def processor_distances(self, node_id: int) -> Optional[np.ndarray]:
+        """d(u, p) for every processor, or None for unindexed nodes."""
+        row = self._row.get(node_id)
+        if row is not None:
+            return self._table[row]
+        return self._extra_table.get(node_id)
+
+    def landmark_vector(self, node_id: int) -> Optional[np.ndarray]:
+        """Distances from ``node_id`` to every landmark (inf = unreachable)."""
+        row = self._row.get(node_id)
+        if row is not None:
+            return self._landmark_dist[:, row]
+        return self._extra_landmark.get(node_id)
+
+    def storage_bytes(self) -> int:
+        """Router-side footprint: the d(u,p) table plus overlays."""
+        extra = sum(v.nbytes for v in self._extra_table.values())
+        return self._table.nbytes + extra
+
+    # -- incremental maintenance ------------------------------------------------
+    def _table_row_from_vector(self, vector: np.ndarray) -> np.ndarray:
+        row = np.full(self.num_processors, np.inf, dtype=np.float32)
+        for processor, group in enumerate(self.groups):
+            if group:
+                row[processor] = vector[group].min()
+        return row
+
+    def _set_vector(self, node_id: int, vector: np.ndarray) -> None:
+        row = self._row.get(node_id)
+        if row is not None:
+            self._landmark_dist[:, row] = vector
+            self._table[row] = self._table_row_from_vector(vector)
+        else:
+            self._extra_landmark[node_id] = vector
+            self._extra_table[node_id] = self._table_row_from_vector(vector)
+
+    def _relaxed_vector(self, neighbor_ids: Iterable[int]) -> np.ndarray:
+        """1 + elementwise-min over known neighbors' landmark vectors."""
+        vector = np.full(self.num_landmarks, np.inf, dtype=np.float32)
+        for neighbor in neighbor_ids:
+            neighbor_vec = self.landmark_vector(neighbor)
+            if neighbor_vec is not None:
+                np.minimum(vector, neighbor_vec + 1.0, out=vector)
+        return vector
+
+    def add_node(self, node_id: int, neighbor_ids: Iterable[int]) -> None:
+        """Index a newly added node from its (already indexed) neighbors.
+
+        The paper computes the new node's distance to every landmark; we
+        realise that with one relaxation step — exact when the neighbors'
+        vectors are exact, an upper bound otherwise.
+        """
+        if self.knows(node_id):
+            raise ValueError(f"node {node_id} already indexed")
+        self._set_vector(node_id, self._relaxed_vector(neighbor_ids))
+
+    def update_edge(self, graph: Graph, u: int, v: int, added: bool = True) -> None:
+        """Refresh distances after an edge change between existing nodes.
+
+        Per the paper, the endpoints and their neighbors up to 2 hops get
+        their landmark distances recomputed. We recompute by relaxation
+        over the *current* graph; for deletions this is the paper's
+        "simpler approach" approximation, with drift removed by periodic
+        :meth:`rebuild`.
+        """
+        affected: set[int] = set()
+        for endpoint in (u, v):
+            if endpoint in graph:
+                affected.update(
+                    bfs_distances(graph, endpoint, max_hops=2, direction="both")
+                )
+        if not affected:
+            return
+        # Two relaxation passes propagate improvements across the patch.
+        for _ in range(2):
+            for node in sorted(affected):
+                vector = self._relaxed_vector(graph.neighbors(node))
+                if node in set(self.landmark_node_ids):
+                    vector = vector.copy()
+                    vector[self.landmark_node_ids.index(node)] = 0.0
+                if added:
+                    old = self.landmark_vector(node)
+                    if old is not None:
+                        vector = np.minimum(vector, old)
+                self._set_vector(node, vector)
+
+    def rebuild(
+        self,
+        graph: Graph,
+        num_landmarks: Optional[int] = None,
+        min_separation: int = 3,
+    ) -> "LandmarkIndex":
+        """Periodic offline re-preprocessing (returns a fresh index)."""
+        return LandmarkIndex.build(
+            graph,
+            num_processors=self.num_processors,
+            num_landmarks=num_landmarks or self.num_landmarks,
+            min_separation=min_separation,
+        )

@@ -1,0 +1,54 @@
+"""Landmark selection (§3.4.1, Preprocessing).
+
+The paper selects landmarks by degree, spread across the graph: walk the
+nodes in decreasing degree order and accept a candidate only if it is at
+least ``min_separation`` hops away from every landmark already chosen
+("if we find two landmarks to be closer than a pre-defined threshold, the
+one with the lower degree is discarded").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+
+def select_landmarks(
+    csr: CSRGraph,
+    count: int,
+    min_separation: int = 3,
+) -> List[int]:
+    """Pick up to ``count`` landmark nodes (compact indices).
+
+    ``csr`` should be the bi-directed view of the graph: landmark distances
+    are hop counts ignoring edge direction (§3.4.1 considers a bi-directed
+    version of the input graph).
+
+    Returns fewer than ``count`` landmarks when the separation constraint
+    exhausts the graph first.
+    """
+    if count < 1:
+        raise ValueError("need at least one landmark")
+    if min_separation < 1:
+        raise ValueError("min_separation must be >= 1")
+
+    degrees = csr.degrees()
+    order = np.argsort(-degrees, kind="stable")
+    forbidden = np.zeros(csr.num_nodes, dtype=bool)
+    landmarks: List[int] = []
+    for candidate in order:
+        candidate = int(candidate)
+        if forbidden[candidate]:
+            continue
+        if degrees[candidate] == 0:
+            break  # isolated nodes make useless landmarks; order is sorted
+        landmarks.append(candidate)
+        if len(landmarks) == count:
+            break
+        # Nodes strictly closer than min_separation become ineligible.
+        nearby = csr.bfs_distances([candidate], max_hops=min_separation - 1)
+        forbidden |= nearby >= 0
+    return landmarks

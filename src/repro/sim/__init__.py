@@ -1,0 +1,31 @@
+"""Minimal deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which every timed experiment in the
+reproduction runs: cluster servers, network transfers and query executions
+are simulation processes whose costs come from calibrated cost models rather
+than Python wall-clock time.
+"""
+
+from .environment import Environment
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

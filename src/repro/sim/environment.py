@@ -1,0 +1,106 @@
+"""The discrete-event simulation environment (clock + event queue).
+
+The environment owns the simulated clock and a priority queue of triggered
+events. ``run()`` pops events in ``(time, sequence)`` order, which makes every
+simulation fully deterministic for a fixed program: ties at the same instant
+resolve in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any one of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (re-raising its exception on failure).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            return target.value
+
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise SimulationError("run(until=...) is in the past")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        if until is not None:
+            self._now = limit
+        return None

@@ -1,0 +1,242 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularized by
+SimPy): simulation *processes* are Python generators that ``yield`` events;
+the environment resumes a process when the event it waits on is triggered.
+
+Events move through three states:
+
+``PENDING``
+    created but not yet triggered.
+``TRIGGERED``
+    a value (or exception) has been set and the event is scheduled on the
+    environment's queue.
+``PROCESSED``
+    the event's callbacks have run; waiting processes have been resumed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .environment import Environment
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Processes wait on events by yielding them. An event carries either a
+    value (success) or an exception (failure), which is delivered to every
+    waiting process.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = PENDING
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on this
+        event, which makes failure injection (dead servers, dropped
+        messages) straightforward.
+        """
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    # -- kernel hooks ------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._value = None
+        self._state = TRIGGERED
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, so processes can wait for each other
+    simply by yielding them.
+    """
+
+    def __init__(self, env: "Environment", generator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the triggered event's outcome."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._exception is not None:
+                    target = self._generator.throw(event._exception)
+                else:
+                    target = self._generator.send(event._value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                error = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                self._generator.throw(error)
+                raise error
+
+            self._target = target
+            if target.processed:
+                # Already resolved: loop immediately with its outcome.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            break
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        for child in self.events:
+            if child.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for child in self.events:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers once every child event has triggered.
+
+    The value is the list of child values in construction order. If any
+    child fails, the condition fails with that child's exception.
+    """
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([event._value for event in self.events])
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one child event triggers."""
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self.succeed(child._value)

@@ -1,0 +1,119 @@
+"""Shared resources for simulation processes.
+
+Two primitives cover everything the reproduction needs:
+
+:class:`Resource`
+    a FIFO server with fixed capacity — models a storage server's request
+    pipeline or a CPU. Processes ``yield resource.request()``, hold the slot
+    for however long they need, then call ``release()``.
+
+:class:`Store`
+    an unbounded FIFO queue of items — models message channels such as the
+    router's per-processor connections and acknowledgement paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .environment import Environment
+from .events import Event, SimulationError
+
+
+class Request(Event):
+    """Pending acquisition of one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A capacity-limited, strictly FIFO resource."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users = 0
+        self._waiting: Deque[Request] = deque()
+        # Aggregate busy-time accounting for utilisation metrics.
+        self._busy_since: float | None = None
+        self.busy_time = 0.0
+        self.total_requests = 0
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._users
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for one unit; the returned event triggers when granted."""
+        req = Request(self)
+        self.total_requests += 1
+        if self._users < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return one unit previously granted to ``request``."""
+        if request.resource is not self:
+            raise SimulationError("release() of a foreign request")
+        self._users -= 1
+        if self._users == 0 and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        if self._waiting:
+            self._grant(self._waiting.popleft())
+
+    def _grant(self, request: Request) -> None:
+        self._users += 1
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+        request.succeed(self)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time this resource was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, busy / elapsed)
+
+
+class Store:
+    """An unbounded FIFO channel of items between processes."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,22 @@
+"""Decoupled storage tier: RAMCloud-like partitioned key-value store."""
+
+from .kvstore import KVStoreError, LogStructuredStore
+from .murmur import hash_node_id, murmur3_32
+from .records import AdjacencyRecord, graph_to_records, record_for_node
+from .server import StorageServer, StorageServerDown
+from .tier import StorageTier, modulo_partitioner, murmur_partitioner
+
+__all__ = [
+    "AdjacencyRecord",
+    "KVStoreError",
+    "LogStructuredStore",
+    "StorageServer",
+    "StorageServerDown",
+    "StorageTier",
+    "graph_to_records",
+    "hash_node_id",
+    "modulo_partitioner",
+    "murmur3_32",
+    "murmur_partitioner",
+    "record_for_node",
+]

@@ -1,0 +1,139 @@
+"""Log-structured in-memory key-value store (RAMCloud-like).
+
+RAMCloud keeps all values in an append-only, segmented log with a hash-table
+index and reclaims space with a cleaner (§4.1 and [19]). This class models
+the parts the paper relies on: O(1) gets through the index, append-on-write,
+per-segment liveness accounting and a cleaner that compacts the emptiest
+segments when utilization drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class KVStoreError(Exception):
+    """Raised on invalid store operations."""
+
+
+@dataclass
+class _Segment:
+    entries: List[Optional[Tuple[int, bytes]]] = field(default_factory=list)
+    used_bytes: int = 0
+    live_bytes: int = 0
+
+    def append(self, key: int, value: bytes) -> int:
+        self.entries.append((key, value))
+        self.used_bytes += len(value)
+        self.live_bytes += len(value)
+        return len(self.entries) - 1
+
+    def kill(self, entry_index: int) -> None:
+        entry = self.entries[entry_index]
+        assert entry is not None
+        self.live_bytes -= len(entry[1])
+        self.entries[entry_index] = None
+
+
+class LogStructuredStore:
+    """Append-only segmented log with a hash index and a cleaner."""
+
+    def __init__(
+        self,
+        segment_bytes: int = 1 << 20,
+        clean_threshold: float = 0.5,
+    ) -> None:
+        if segment_bytes <= 0:
+            raise KVStoreError("segment_bytes must be positive")
+        if not 0.0 < clean_threshold < 1.0:
+            raise KVStoreError("clean_threshold must be in (0, 1)")
+        self.segment_bytes = segment_bytes
+        self.clean_threshold = clean_threshold
+        self._segments: List[_Segment] = [_Segment()]
+        self._index: Dict[int, Tuple[int, int]] = {}
+        self.cleanings = 0
+
+    # -- basic operations -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._index
+
+    def get(self, key: int) -> bytes:
+        """Value for ``key``; raises :class:`KeyError` if absent."""
+        seg_idx, entry_idx = self._index[key]
+        entry = self._segments[seg_idx].entries[entry_idx]
+        assert entry is not None
+        return entry[1]
+
+    def multiget(self, keys) -> Dict[int, bytes]:
+        """Values for every present key (absent keys are skipped)."""
+        result = {}
+        for key in keys:
+            location = self._index.get(key)
+            if location is None:
+                continue
+            seg_idx, entry_idx = location
+            entry = self._segments[seg_idx].entries[entry_idx]
+            assert entry is not None
+            result[key] = entry[1]
+        return result
+
+    def put(self, key: int, value: bytes) -> None:
+        """Write ``key``; overwriting appends and kills the old entry."""
+        if not isinstance(value, bytes):
+            raise KVStoreError("values must be bytes")
+        old = self._index.get(key)
+        if old is not None:
+            self._segments[old[0]].kill(old[1])
+        head = self._segments[-1]
+        if head.used_bytes + len(value) > self.segment_bytes and head.entries:
+            head = _Segment()
+            self._segments.append(head)
+        entry_idx = head.append(key, value)
+        self._index[key] = (len(self._segments) - 1, entry_idx)
+        if self.utilization() < self.clean_threshold:
+            self._clean()
+
+    def delete(self, key: int) -> None:
+        """Remove ``key``; raises :class:`KeyError` if absent."""
+        seg_idx, entry_idx = self._index.pop(key)
+        self._segments[seg_idx].kill(entry_idx)
+
+    # -- space accounting --------------------------------------------------
+    def live_bytes(self) -> int:
+        return sum(seg.live_bytes for seg in self._segments)
+
+    def used_bytes(self) -> int:
+        return sum(seg.used_bytes for seg in self._segments)
+
+    def utilization(self) -> float:
+        """live / appended bytes — the cleaner's trigger metric."""
+        used = self.used_bytes()
+        if used == 0:
+            return 1.0
+        return self.live_bytes() / used
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def _clean(self) -> None:
+        """Compact: rewrite live entries into fresh segments."""
+        self.cleanings += 1
+        live: List[Tuple[int, bytes]] = []
+        for key, (seg_idx, entry_idx) in self._index.items():
+            entry = self._segments[seg_idx].entries[entry_idx]
+            assert entry is not None
+            live.append((key, entry[1]))
+        self._segments = [_Segment()]
+        self._index.clear()
+        for key, value in live:
+            head = self._segments[-1]
+            if head.used_bytes + len(value) > self.segment_bytes and head.entries:
+                head = _Segment()
+                self._segments.append(head)
+            entry_idx = head.append(key, value)
+            self._index[key] = (len(self._segments) - 1, entry_idx)

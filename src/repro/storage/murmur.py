@@ -1,0 +1,63 @@
+"""MurmurHash3 (x86, 32-bit) — the hash RAMCloud-style stores use to
+partition keys across storage servers (paper §4.1 names MurmurHash3).
+
+Pure-Python reference implementation; verified against the canonical
+test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def _fmix32(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """32-bit MurmurHash3 of ``data``."""
+    length = len(data)
+    h = seed & _MASK32
+    rounded = length & ~0x3
+
+    for offset in range(0, rounded, 4):
+        k = struct.unpack_from("<I", data, offset)[0]
+        k = (k * _C1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    k = 0
+    tail = length & 0x3
+    if tail >= 3:
+        k ^= data[rounded + 2] << 16
+    if tail >= 2:
+        k ^= data[rounded + 1] << 8
+    if tail >= 1:
+        k ^= data[rounded]
+        k = (k * _C1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK32
+        h ^= k
+
+    return _fmix32(h ^ length)
+
+
+def hash_node_id(node_id: int, seed: int = 0) -> int:
+    """Hash an integer node id (little-endian 8-byte encoding)."""
+    return murmur3_32(struct.pack("<q", node_id), seed)

@@ -1,0 +1,126 @@
+"""Adjacency-record codec: the graph's key-value representation (§2.1).
+
+Every node is one record: key = node id, value = its outgoing and incoming
+neighbor lists with optional labels (Figure 3 of the paper). Records encode
+to a compact binary layout so that byte sizes — which drive cache capacity,
+network transfer and storage utilization — are real numbers, not guesses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..graph.digraph import Graph
+
+_HEADER = struct.Struct("<qII")  # node id, #out entries, #in entries
+_ENTRY = struct.Struct("<qH")  # neighbor id, label byte-length
+
+
+@dataclass
+class AdjacencyRecord:
+    """One node's stored value: out- and in-adjacency with labels."""
+
+    node_id: int
+    out_edges: List[Tuple[int, Optional[str]]] = field(default_factory=list)
+    in_edges: List[Tuple[int, Optional[str]]] = field(default_factory=list)
+    node_label: Optional[str] = None
+
+    # -- views -------------------------------------------------------------
+    def out_neighbors(self) -> List[int]:
+        return [v for v, _ in self.out_edges]
+
+    def in_neighbors(self) -> List[int]:
+        return [v for v, _ in self.in_edges]
+
+    def neighbors(self) -> List[int]:
+        """Bi-directed neighbor list, deduplicated, out-edges first."""
+        seen = set()
+        result = []
+        for v, _ in self.out_edges:
+            if v not in seen:
+                seen.add(v)
+                result.append(v)
+        for v, _ in self.in_edges:
+            if v not in seen:
+                seen.add(v)
+                result.append(v)
+        return result
+
+    @property
+    def degree(self) -> int:
+        return len(self.out_edges) + len(self.in_edges)
+
+    # -- codec -------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to the compact binary layout."""
+        parts = [
+            _HEADER.pack(self.node_id, len(self.out_edges), len(self.in_edges))
+        ]
+        label_bytes = (self.node_label or "").encode("utf-8")
+        parts.append(struct.pack("<H", len(label_bytes)))
+        parts.append(label_bytes)
+        for edges in (self.out_edges, self.in_edges):
+            for neighbor, label in edges:
+                encoded = (label or "").encode("utf-8")
+                parts.append(_ENTRY.pack(neighbor, len(encoded)))
+                parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "AdjacencyRecord":
+        """Inverse of :meth:`encode`."""
+        node_id, n_out, n_in = _HEADER.unpack_from(payload, 0)
+        offset = _HEADER.size
+        (label_len,) = struct.unpack_from("<H", payload, offset)
+        offset += 2
+        node_label = (
+            payload[offset:offset + label_len].decode("utf-8") if label_len else None
+        )
+        offset += label_len
+
+        def read_entries(count: int, offset: int):
+            entries: List[Tuple[int, Optional[str]]] = []
+            for _ in range(count):
+                neighbor, edge_len = _ENTRY.unpack_from(payload, offset)
+                offset += _ENTRY.size
+                label = (
+                    payload[offset:offset + edge_len].decode("utf-8")
+                    if edge_len
+                    else None
+                )
+                offset += edge_len
+                entries.append((neighbor, label))
+            return entries, offset
+
+        out_edges, offset = read_entries(n_out, offset)
+        in_edges, offset = read_entries(n_in, offset)
+        return cls(node_id, out_edges, in_edges, node_label)
+
+    def size_bytes(self) -> int:
+        """Encoded size; used for cache occupancy and transfer accounting."""
+        size = _HEADER.size + 2 + len((self.node_label or "").encode("utf-8"))
+        for edges in (self.out_edges, self.in_edges):
+            for _, label in edges:
+                size += _ENTRY.size + len((label or "").encode("utf-8"))
+        return size
+
+
+def record_for_node(graph: Graph, node: int) -> AdjacencyRecord:
+    """Build the adjacency record of ``node`` from a graph."""
+    out_edges = [(v, graph.edge_label(node, v)) for v in graph.out_neighbors(node)]
+    in_edges = [(u, graph.edge_label(u, node)) for u in graph.in_neighbors(node)]
+    label = graph.node_label(node)
+    return AdjacencyRecord(
+        node_id=node,
+        out_edges=out_edges,
+        in_edges=in_edges,
+        node_label=label if isinstance(label, str) or label is None else str(label),
+    )
+
+
+def graph_to_records(graph: Graph):
+    """Yield the adjacency record of every node."""
+    for node in graph.nodes():
+        yield record_for_node(graph, node)

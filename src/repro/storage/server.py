@@ -1,0 +1,116 @@
+"""A simulated storage server: log-structured store + FIFO service pipeline.
+
+Requests occupy the server's pipeline for a service time derived from the
+:class:`~repro.costs.StorageServiceModel`, so storage-tier contention —
+central to the paper's Fig 8(c) storage-scaling experiment — emerges
+naturally from queueing rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..costs import StorageServiceModel
+from ..sim import Environment, Resource
+from .kvstore import LogStructuredStore
+
+
+class StorageServerDown(Exception):
+    """Raised by requests against a failed server (failure injection)."""
+
+
+class StorageServer:
+    """One storage node in the storage tier."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        service_model: StorageServiceModel,
+        pipeline_width: int = 1,
+        segment_bytes: int = 1 << 20,
+    ) -> None:
+        self.env = env
+        self.server_id = server_id
+        self.service = service_model
+        self.store = LogStructuredStore(segment_bytes=segment_bytes)
+        self.pipeline = Resource(env, capacity=pipeline_width)
+        self.alive = True
+        # Counters for utilization / hotspot analysis.
+        self.requests_served = 0
+        self.keys_served = 0
+        self.bytes_served = 0
+
+    # -- untimed bulk loading (setup happens outside simulated time) -------
+    def load(self, key: int, value: bytes) -> None:
+        self.store.put(key, value)
+
+    # -- failure injection ---------------------------------------------------
+    def fail(self) -> None:
+        """Mark the server down; subsequent requests raise."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    # -- timed operations ------------------------------------------------------
+    def multiget_process(self, keys: Iterable[int]):
+        """Simulation process serving a multiget; yields the value dict.
+
+        The caller is responsible for network costs; this process models
+        only server-side queueing and service time.
+        """
+        keys = list(keys)
+        request = self.pipeline.request()
+        yield request
+        try:
+            if not self.alive:
+                raise StorageServerDown(f"storage server {self.server_id} is down")
+            values = self.store.multiget(keys)
+            nbytes = sum(len(v) for v in values.values())
+            yield self.env.timeout(self.service.service_time(len(keys), nbytes))
+            self.requests_served += 1
+            self.keys_served += len(keys)
+            self.bytes_served += nbytes
+        finally:
+            self.pipeline.release(request)
+        return values
+
+    def serve_process(self, num_keys: int, nbytes: int):
+        """Metadata-only multiget: queueing + service time without data.
+
+        Large experiment sweeps simulate thousands of queries over the same
+        immutable graph; they account sizes and ownership from precomputed
+        arrays and use this path so the store itself is not re-decoded per
+        request. Timing and contention are identical to
+        :meth:`multiget_process`.
+        """
+        request = self.pipeline.request()
+        yield request
+        try:
+            if not self.alive:
+                raise StorageServerDown(f"storage server {self.server_id} is down")
+            yield self.env.timeout(self.service.service_time(num_keys, nbytes))
+            self.requests_served += 1
+            self.keys_served += num_keys
+            self.bytes_served += nbytes
+        finally:
+            self.pipeline.release(request)
+
+    def put_process(self, key: int, value: bytes):
+        """Simulation process serving a single put."""
+        request = self.pipeline.request()
+        yield request
+        try:
+            if not self.alive:
+                raise StorageServerDown(f"storage server {self.server_id} is down")
+            yield self.env.timeout(self.service.service_time(1, len(value)))
+            self.store.put(key, value)
+            self.requests_served += 1
+            self.keys_served += 1
+            self.bytes_served += len(value)
+        finally:
+            self.pipeline.release(request)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.pipeline.utilization(elapsed)

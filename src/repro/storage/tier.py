@@ -1,0 +1,116 @@
+"""The storage tier: graph records hash-partitioned across storage servers.
+
+The paper's storage tier (§2.3, §4.1) is RAMCloud with its default
+MurmurHash3 key partitioning — deliberately *inexpensive* partitioning,
+because smart routing at the processing tier is what recovers locality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..costs import StorageServiceModel
+from ..graph.digraph import Graph
+from ..sim import Environment
+from .murmur import hash_node_id
+from .records import AdjacencyRecord, graph_to_records
+from .server import StorageServer
+
+Partitioner = Callable[[int, int], int]
+
+
+def murmur_partitioner(key: int, num_servers: int) -> int:
+    """RAMCloud-style placement: MurmurHash3 of the key, mod servers."""
+    return hash_node_id(key) % num_servers
+
+
+def modulo_partitioner(key: int, num_servers: int) -> int:
+    """Plain modulo placement (useful in tests for predictable layouts)."""
+    return key % num_servers
+
+
+class StorageTier:
+    """A set of storage servers holding one partitioned graph."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_servers: int,
+        service_model: Optional[StorageServiceModel] = None,
+        partitioner: Partitioner = murmur_partitioner,
+        pipeline_width: int = 1,
+        segment_bytes: int = 1 << 20,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError("storage tier needs at least one server")
+        self.env = env
+        self.partitioner = partitioner
+        self.servers: List[StorageServer] = [
+            StorageServer(
+                env,
+                server_id=i,
+                service_model=service_model or StorageServiceModel(),
+                pipeline_width=pipeline_width,
+                segment_bytes=segment_bytes,
+            )
+            for i in range(num_servers)
+        ]
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def locate(self, key: int) -> StorageServer:
+        """The server owning ``key``."""
+        return self.servers[self.partitioner(key, self.num_servers)]
+
+    def load_graph(self, graph: Graph) -> int:
+        """Bulk-load every adjacency record; returns total bytes stored.
+
+        Loading happens outside simulated time (the paper's experiments
+        start with the graph already resident in the storage tier).
+        """
+        total = 0
+        for record in graph_to_records(graph):
+            payload = record.encode()
+            self.locate(record.node_id).load(record.node_id, payload)
+            total += len(payload)
+        return total
+
+    def store_record(self, record: AdjacencyRecord) -> None:
+        """Untimed single-record upsert (used by graph-update handling)."""
+        self.locate(record.node_id).load(record.node_id, record.encode())
+
+    def partition_plan(self, keys: Iterable[int]) -> Dict[int, List[int]]:
+        """Group ``keys`` by owning server id."""
+        plan: Dict[int, List[int]] = {}
+        for key in keys:
+            plan.setdefault(self.partitioner(key, self.num_servers), []).append(key)
+        return plan
+
+    def fetch_process(self, keys: Iterable[int]):
+        """Simulation process fetching records for ``keys`` in parallel.
+
+        Issues one multiget per involved server concurrently (server-side
+        queueing applies) and yields ``{key: AdjacencyRecord}``. Network
+        cost is the *caller's* concern: the query processor knows which
+        interconnect it is on.
+        """
+        plan = self.partition_plan(keys)
+        pending = [
+            self.env.process(self.servers[sid].multiget_process(server_keys))
+            for sid, server_keys in plan.items()
+        ]
+        value_maps = yield self.env.all_of(pending)
+        records: Dict[int, AdjacencyRecord] = {}
+        for values in value_maps:
+            for key, payload in values.items():
+                records[key] = AdjacencyRecord.decode(payload)
+        return records
+
+    def total_live_bytes(self) -> int:
+        return sum(server.store.live_bytes() for server in self.servers)
+
+    def load_distribution(self) -> List[int]:
+        """Records held per server — partition-balance diagnostics."""
+        return [len(server.store) for server in self.servers]

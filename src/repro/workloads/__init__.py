@@ -1,0 +1,15 @@
+"""Query workload generators (hotspot, uniform, zipfian)."""
+
+from .hotspot import (
+    DEFAULT_MIX,
+    hotspot_workload,
+    uniform_workload,
+    zipfian_workload,
+)
+
+__all__ = [
+    "DEFAULT_MIX",
+    "hotspot_workload",
+    "uniform_workload",
+    "zipfian_workload",
+]

@@ -1,0 +1,139 @@
+"""Hotspot query workloads (§4.1, Online Query Workloads).
+
+The paper's workload: pick ``num_hotspots`` center nodes uniformly at
+random; around each center pick ``queries_per_hotspot`` query nodes within
+``radius`` hops (so any two nodes of one hotspot are within ``2 * radius``
+hops of each other); group all of one hotspot's queries consecutively. The
+queries themselves are a uniform mixture of the three h-hop types.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.queries import (
+    NeighborAggregationQuery,
+    Query,
+    RandomWalkQuery,
+    ReachabilityQuery,
+)
+from ..graph.csr import CSRGraph
+from ..graph.digraph import Graph
+
+DEFAULT_MIX = ("aggregation", "walk", "reachability")
+
+
+def _make_query(kind: str, node: int, hops: int, ball: np.ndarray,
+                rng: np.random.Generator) -> Query:
+    if kind == "aggregation":
+        return NeighborAggregationQuery(node=node, hops=hops)
+    if kind == "walk":
+        return RandomWalkQuery(node=node, steps=hops,
+                               seed=int(rng.integers(0, 2**31)))
+    if kind == "reachability":
+        # Target drawn from the same hotspot ball: realistic "is my nearby
+        # contact reachable" probes that keep the traversal local.
+        target = int(ball[rng.integers(0, len(ball))])
+        return ReachabilityQuery(node=node, target=target, hops=hops)
+    raise ValueError(f"unknown query kind: {kind!r}")
+
+
+def hotspot_workload(
+    graph: Graph,
+    num_hotspots: int = 100,
+    queries_per_hotspot: int = 10,
+    radius: int = 2,
+    hops: int = 2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> List[Query]:
+    """Generate the paper's hotspot workload over ``graph``.
+
+    Returns ``num_hotspots * queries_per_hotspot`` queries, hotspot-grouped
+    in order. Pass a prebuilt bi-directed ``csr`` to skip rebuilding it.
+    """
+    if num_hotspots < 1 or queries_per_hotspot < 1:
+        raise ValueError("hotspot counts must be positive")
+    if radius < 0 or hops < 1:
+        raise ValueError("radius must be >= 0 and hops >= 1")
+    if not mix:
+        raise ValueError("query mix cannot be empty")
+    if csr is None:
+        csr = CSRGraph.from_graph(graph, direction="both")
+    rng = np.random.default_rng(seed)
+
+    degrees = csr.degrees()
+    eligible = np.flatnonzero(degrees > 0)
+    if eligible.size == 0:
+        raise ValueError("graph has no connected nodes to query")
+
+    queries: List[Query] = []
+    for _ in range(num_hotspots):
+        center = int(eligible[rng.integers(0, eligible.size)])
+        dist = csr.bfs_distances([center], max_hops=radius)
+        ball_idx = np.flatnonzero(dist >= 0)  # includes the center
+        ball_ids = csr.node_ids[ball_idx]
+        for i in range(queries_per_hotspot):
+            query_node = int(ball_ids[rng.integers(0, ball_ids.size)])
+            kind = mix[i % len(mix)]
+            queries.append(_make_query(kind, query_node, hops, ball_ids, rng))
+    return queries
+
+
+def uniform_workload(
+    graph: Graph,
+    num_queries: int = 1000,
+    hops: int = 2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> List[Query]:
+    """Queries on uniformly random nodes — no locality at all."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    if csr is None:
+        csr = CSRGraph.from_graph(graph, direction="both")
+    rng = np.random.default_rng(seed)
+    degrees = csr.degrees()
+    eligible = csr.node_ids[degrees > 0]
+    queries: List[Query] = []
+    for i in range(num_queries):
+        node = int(eligible[rng.integers(0, eligible.size)])
+        queries.append(_make_query(mix[i % len(mix)], node, hops,
+                                   eligible, rng))
+    return queries
+
+
+def zipfian_workload(
+    graph: Graph,
+    num_queries: int = 1000,
+    hops: int = 2,
+    skew: float = 1.2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> List[Query]:
+    """Queries whose nodes follow a Zipf popularity distribution.
+
+    Models repeat-heavy production traffic: a few nodes are queried over
+    and over (where hash routing's repeat locality shines).
+    """
+    if skew <= 1.0:
+        raise ValueError("skew must exceed 1.0 for a proper Zipf law")
+    if csr is None:
+        csr = CSRGraph.from_graph(graph, direction="both")
+    rng = np.random.default_rng(seed)
+    degrees = csr.degrees()
+    eligible = csr.node_ids[degrees > 0]
+    # Rank nodes in a fixed shuffled order; rank r is queried ∝ r^-skew.
+    order = rng.permutation(eligible)
+    queries: List[Query] = []
+    for i in range(num_queries):
+        rank = min(int(rng.zipf(skew)) - 1, order.size - 1)
+        node = int(order[rank])
+        queries.append(_make_query(mix[i % len(mix)], node, hops,
+                                   eligible, rng))
+    return queries

@@ -1,0 +1,141 @@
+"""Tests for the METIS-like partitioner and the greedy vertex cut."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    edge_cut,
+    greedy_vertex_cut,
+    hash_partition,
+    multilevel_partition,
+    partition_loads,
+    random_vertex_cut,
+)
+from repro.graph import CSRGraph, community_graph, erdos_renyi, ring_of_cliques
+
+
+@pytest.fixture(scope="module")
+def communities():
+    graph = community_graph(16, 40, intra_degree=6, inter_degree=0.3, seed=4)
+    csr = CSRGraph.from_graph(graph, direction="both")
+    return graph, csr
+
+
+class TestMultilevelPartition:
+    def test_every_node_labelled(self, communities):
+        graph, csr = communities
+        labels = multilevel_partition(graph, 4, csr=csr)
+        assert labels.shape == (csr.num_nodes,)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_balance_within_tolerance(self, communities):
+        graph, csr = communities
+        labels = multilevel_partition(graph, 4, balance=1.05, csr=csr)
+        loads = partition_loads(labels, 4)
+        assert loads.max() <= 1.25 * csr.num_nodes / 4  # generous envelope
+
+    def test_beats_hash_partitioning_on_communities(self, communities):
+        graph, csr = communities
+        metis_labels = multilevel_partition(graph, 4, csr=csr)
+        hash_labels = hash_partition(csr, 4)
+        assert edge_cut(csr, metis_labels) < 0.6 * edge_cut(csr, hash_labels)
+
+    def test_recovers_ring_of_cliques(self):
+        graph = ring_of_cliques(8, 8)
+        csr = CSRGraph.from_graph(graph, direction="both")
+        labels = multilevel_partition(graph, 4, csr=csr)
+        # Cliques should rarely be split: most cliques live in one part.
+        intact = 0
+        for clique in range(8):
+            members = labels[clique * 8:(clique + 1) * 8]
+            if len(set(members.tolist())) == 1:
+                intact += 1
+        assert intact >= 6
+
+    def test_k_equal_one(self, communities):
+        graph, csr = communities
+        labels = multilevel_partition(graph, 1, csr=csr)
+        assert (labels == 0).all()
+
+    def test_invalid_k(self, communities):
+        graph, csr = communities
+        with pytest.raises(ValueError):
+            multilevel_partition(graph, 0, csr=csr)
+
+    def test_more_nodes_than_parts_required(self):
+        graph = erdos_renyi(3, 3, seed=0)
+        with pytest.raises(ValueError):
+            multilevel_partition(graph, 10)
+
+    def test_deterministic_for_seed(self, communities):
+        graph, csr = communities
+        a = multilevel_partition(graph, 4, seed=7, csr=csr)
+        b = multilevel_partition(graph, 4, seed=7, csr=csr)
+        assert (a == b).all()
+
+
+class TestEdgeCut:
+    def test_single_part_zero_cut(self, communities):
+        _graph, csr = communities
+        labels = np.zeros(csr.num_nodes, dtype=np.int32)
+        assert edge_cut(csr, labels) == 0
+
+    def test_full_split_counts_crossings(self):
+        graph = ring_of_cliques(2, 3)
+        csr = CSRGraph.from_graph(graph, direction="both")
+        labels = np.array([0] * 3 + [1] * 3, dtype=np.int32)
+        # Only the two bridge entries cross (one per direction row).
+        assert edge_cut(csr, labels) == 2
+
+
+class TestGreedyVertexCut:
+    def test_every_edge_placed(self, communities):
+        graph, _csr = communities
+        cut = greedy_vertex_cut(graph, 4, seed=1)
+        assert len(cut.edge_machine) == graph.num_edges
+
+    def test_replication_factor_bounds(self, communities):
+        graph, _csr = communities
+        cut = greedy_vertex_cut(graph, 4, seed=1)
+        factor = cut.replication_factor()
+        assert 1.0 <= factor <= 4.0
+
+    def test_greedy_beats_random_replication(self, communities):
+        graph, _csr = communities
+        greedy = greedy_vertex_cut(graph, 8, seed=1)
+        random = random_vertex_cut(graph, 8, seed=1)
+        assert greedy.replication_factor() < random.replication_factor()
+
+    def test_loads_are_balanced(self, communities):
+        graph, _csr = communities
+        cut = greedy_vertex_cut(graph, 4, seed=1)
+        loads = cut.machine_loads()
+        assert loads.sum() == graph.num_edges
+        assert loads.max() <= 1.5 * graph.num_edges / 4
+
+    def test_replicas_cover_edge_endpoints(self, communities):
+        graph, _csr = communities
+        cut = greedy_vertex_cut(graph, 4, seed=1)
+        for (u, v), machine in list(cut.edge_machine.items())[:200]:
+            assert machine in cut.replicas[u]
+            assert machine in cut.replicas[v]
+
+    def test_isolated_nodes_get_single_replica(self):
+        from repro.graph import Graph
+
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        cut = greedy_vertex_cut(g, 3, seed=0)
+        assert len(cut.replicas[9]) == 1
+
+    def test_master_of_is_stable(self, communities):
+        graph, _csr = communities
+        cut = greedy_vertex_cut(graph, 4, seed=1)
+        node = next(iter(graph.nodes()))
+        assert cut.master_of(node) == cut.master_of(node)
+
+    def test_invalid_machine_count(self, communities):
+        graph, _csr = communities
+        with pytest.raises(ValueError):
+            greedy_vertex_cut(graph, 0)

@@ -1,0 +1,77 @@
+"""Tests for the benchmark harness utilities."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentContext,
+    Timer,
+    bench_scale,
+    format_table,
+    get_context,
+)
+
+
+class TestFormatTable:
+    def test_contains_title_headers_rows(self):
+        table = format_table("My Experiment", ["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert "My Experiment" in table
+        assert "a" in table and "b" in table
+        assert "2.50" in table
+
+    def test_alignment_consistent_width(self):
+        table = format_table("t", ["col"], [["short"], ["a-much-longer-cell"]])
+        lines = table.splitlines()
+        data_lines = lines[1:]
+        assert len({len(line) for line in data_lines if "|" in line or "-" in line}) <= 2
+
+    def test_empty_rows(self):
+        table = format_table("t", ["x"], [])
+        assert "t" in table
+
+    def test_float_formatting(self):
+        table = format_table("t", ["v"], [[0.000123], [12345.6], [0]])
+        assert "0.000123" in table
+        assert "12,346" in table
+
+
+class TestEmit:
+    def test_writes_json_artifact(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        harness.emit("Title", ["h"], [[1]], "unit_test_artifact")
+        payload = json.loads((tmp_path / "unit_test_artifact.json").read_text())
+        assert payload["title"] == "Title"
+        assert payload["rows"] == [[1]]
+
+
+class TestContext:
+    def test_memoized_per_key(self):
+        a = get_context("freebase", scale=0.05, seed=3)
+        b = get_context("freebase", scale=0.05, seed=3)
+        assert a is b
+        c = get_context("freebase", scale=0.05, seed=4)
+        assert c is not a
+
+    def test_workload_memoized(self):
+        ctx = get_context("freebase", scale=0.05, seed=3)
+        w1 = ctx.workload(num_hotspots=3, queries_per_hotspot=3)
+        w2 = ctx.workload(num_hotspots=3, queries_per_hotspot=3)
+        assert w1 is w2
+        w3 = ctx.workload(num_hotspots=4, queries_per_hotspot=3)
+        assert w3 is not w1
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.125")
+        assert bench_scale() == 0.125
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert bench_scale(0.75) == 0.75
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0

@@ -1,0 +1,158 @@
+"""Processor cache tests: LRU/FIFO/LFU policies, capacity, statistics."""
+
+import pytest
+
+from repro.core import ProcessorCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ProcessorCache(100)
+        assert cache.get("a") is None
+        cache.put("a", 10)
+        assert cache.get("a") is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_contains_has_no_side_effects(self):
+        cache = ProcessorCache(100)
+        cache.put("a", 10)
+        assert "a" in cache
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_size_accounting(self):
+        cache = ProcessorCache(100)
+        cache.put("a", 30)
+        cache.put("b", 20)
+        assert cache.size_bytes == 50
+        assert len(cache) == 2
+
+    def test_reput_updates_size(self):
+        cache = ProcessorCache(100)
+        cache.put("a", 30)
+        cache.put("a", 50)
+        assert cache.size_bytes == 50
+        assert len(cache) == 1
+
+    def test_get_many_returns_missed_in_order(self):
+        cache = ProcessorCache(100)
+        cache.put("b", 5)
+        missed = cache.get_many(["a", "b", "c"])
+        assert missed == ["a", "c"]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+
+    def test_put_many(self):
+        cache = ProcessorCache(100)
+        cache.put_many([("a", 10), ("b", 20)])
+        assert cache.size_bytes == 30
+
+    def test_clear(self):
+        cache = ProcessorCache(100)
+        cache.put("a", 10)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.size_bytes == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProcessorCache(-1)
+        with pytest.raises(ValueError):
+            ProcessorCache(10, policy="random")
+
+    def test_negative_size_rejected(self):
+        cache = ProcessorCache(10)
+        with pytest.raises(ValueError):
+            cache.put("a", -5)
+
+
+class TestCapacityAndEviction:
+    def test_eviction_keeps_within_capacity(self):
+        cache = ProcessorCache(100)
+        for i in range(20):
+            cache.put(i, 10)
+        assert cache.size_bytes <= 100
+        assert len(cache) == 10
+        assert cache.stats.evictions == 10
+
+    def test_zero_capacity_is_no_cache(self):
+        cache = ProcessorCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats.rejected == 1
+
+    def test_oversized_record_rejected_without_flushing(self):
+        cache = ProcessorCache(100)
+        cache.put("small", 50)
+        cache.put("huge", 500)
+        assert "small" in cache
+        assert "huge" not in cache
+        assert cache.stats.rejected == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ProcessorCache(30, policy="lru")
+        cache.put("a", 10)
+        cache.put("b", 10)
+        cache.put("c", 10)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("d", 10)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_fifo_ignores_recency(self):
+        cache = ProcessorCache(30, policy="fifo")
+        cache.put("a", 10)
+        cache.put("b", 10)
+        cache.put("c", 10)
+        cache.get("a")  # access does not save "a" under FIFO
+        cache.put("d", 10)
+        assert "a" not in cache
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = ProcessorCache(30, policy="lfu")
+        cache.put("a", 10)
+        cache.put("b", 10)
+        cache.put("c", 10)
+        cache.get("a")
+        cache.get("a")
+        cache.get("c")
+        cache.put("d", 10)  # b has the lowest frequency
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_eviction_cascade_for_large_insert(self):
+        cache = ProcessorCache(100)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, 25)
+        cache.put("big", 80)
+        assert "big" in cache
+        assert cache.size_bytes <= 100
+
+    def test_hit_rate(self):
+        cache = ProcessorCache(100)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.stats.hit_rate() == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_zero(self):
+        assert ProcessorCache(10).stats.hit_rate() == 0.0
+
+
+class TestLruOrderProperty:
+    def test_eviction_order_matches_access_order(self):
+        cache = ProcessorCache(50, policy="lru")
+        for i in range(5):
+            cache.put(i, 10)
+        # Touch in scrambled order; eviction must follow it.
+        for key in (3, 1, 4, 0, 2):
+            cache.get(key)
+        evicted = []
+        for new in range(100, 105):
+            cache.put(new, 10)
+            for old in (3, 1, 4, 0, 2):
+                if old not in cache and old not in evicted:
+                    evicted.append(old)
+        assert evicted == [3, 1, 4, 0, 2]

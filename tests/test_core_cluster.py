@@ -1,0 +1,180 @@
+"""Cluster-level integration tests: schemes, reports, determinism."""
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    ETHERNET_COSTS,
+    GRoutingCluster,
+    GraphAssets,
+    run_workload,
+)
+from repro.core import NeighborAggregationQuery, ROUTING_CHOICES
+from repro.datasets import memetracker_like
+from repro.workloads import hotspot_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = memetracker_like(scale=0.05, seed=2)
+    assets = GraphAssets(graph)
+    queries = hotspot_workload(graph, num_hotspots=10, queries_per_hotspot=10,
+                               radius=2, hops=2, seed=1, csr=assets.csr_both)
+    return graph, assets, queries
+
+
+def _config(routing, **kwargs):
+    defaults = dict(
+        num_processors=4,
+        num_storage_servers=2,
+        cache_capacity_bytes=4 << 20,
+        num_landmarks=16,
+        min_separation=2,
+        dim=6,
+        embed_method="lmds",
+    )
+    defaults.update(kwargs)
+    return ClusterConfig(routing=routing, **defaults)
+
+
+class TestAllSchemesRun:
+    @pytest.mark.parametrize("routing", ROUTING_CHOICES)
+    def test_scheme_completes_workload(self, setup, routing):
+        graph, assets, queries = setup
+        report = GRoutingCluster(graph, _config(routing), assets=assets).run(
+            queries
+        )
+        assert len(report.records) == len(queries)
+        assert report.makespan > 0
+        assert report.throughput() > 0
+        assert report.routing == routing
+
+    def test_unknown_scheme_rejected(self, setup):
+        graph, assets, _queries = setup
+        with pytest.raises(ValueError):
+            GRoutingCluster(graph, _config("telepathy"), assets=assets)
+
+    def test_zero_processors_rejected(self, setup):
+        graph, assets, _queries = setup
+        with pytest.raises(ValueError):
+            GRoutingCluster(graph, _config("hash", num_processors=0),
+                            assets=assets)
+
+
+class TestReportInvariants:
+    def test_response_le_sojourn_plus_decision(self, setup):
+        graph, assets, queries = setup
+        report = GRoutingCluster(graph, _config("hash"), assets=assets).run(
+            queries
+        )
+        for record in report.records:
+            # Sojourn covers queueing; response adds the routing decision.
+            assert (
+                record.response_time
+                <= record.sojourn_time + record.decision_time + 1e-12
+            )
+
+    def test_per_processor_counts_sum(self, setup):
+        graph, assets, queries = setup
+        report = GRoutingCluster(graph, _config("embed"), assets=assets).run(
+            queries
+        )
+        assert sum(report.per_processor_counts().values()) == len(queries)
+
+    def test_summary_keys_stable(self, setup):
+        graph, assets, queries = setup
+        report = GRoutingCluster(graph, _config("hash"), assets=assets).run(
+            queries
+        )
+        summary = report.summary()
+        for key in ("throughput_qps", "mean_response_ms", "cache_hit_rate",
+                    "stolen", "load_imbalance"):
+            assert key in summary
+
+    def test_percentiles_monotone(self, setup):
+        graph, assets, queries = setup
+        report = GRoutingCluster(graph, _config("hash"), assets=assets).run(
+            queries
+        )
+        assert (
+            report.percentile_response_time(50)
+            <= report.percentile_response_time(95)
+            <= report.percentile_response_time(100)
+        )
+
+    def test_utilizations_in_unit_interval(self, setup):
+        graph, assets, queries = setup
+        cluster = GRoutingCluster(graph, _config("hash"), assets=assets)
+        cluster.run(queries)
+        for u in cluster.processor_utilizations():
+            assert 0.0 <= u <= 1.0
+        for u in cluster.storage_utilizations():
+            assert 0.0 <= u <= 1.0
+
+
+class TestDeterminism:
+    def test_same_config_same_report(self, setup):
+        graph, assets, queries = setup
+
+        def run():
+            report = GRoutingCluster(
+                graph, _config("embed"), assets=assets
+            ).run(queries)
+            return (
+                report.makespan,
+                report.total_cache_hits(),
+                [r.processor for r in report.records],
+            )
+
+        assert run() == run()
+
+
+class TestExpectedBehaviours:
+    def test_smart_routing_beats_baseline_on_hits(self, setup):
+        graph, assets, queries = setup
+        hash_report = GRoutingCluster(graph, _config("hash"),
+                                      assets=assets).run(queries)
+        embed_report = GRoutingCluster(graph, _config("embed"),
+                                       assets=assets).run(queries)
+        assert embed_report.total_cache_hits() >= hash_report.total_cache_hits()
+
+    def test_infiniband_faster_than_ethernet(self, setup):
+        graph, assets, queries = setup
+        fast = GRoutingCluster(graph, _config("hash"), assets=assets).run(
+            queries
+        )
+        slow = GRoutingCluster(
+            graph, _config("hash", costs=ETHERNET_COSTS), assets=assets
+        ).run(queries)
+        assert slow.mean_response_time() > fast.mean_response_time()
+
+    def test_more_processors_more_throughput(self, setup):
+        graph, assets, queries = setup
+        one = GRoutingCluster(graph, _config("embed", num_processors=1),
+                              assets=assets).run(queries)
+        four = GRoutingCluster(graph, _config("embed", num_processors=4),
+                               assets=assets).run(queries)
+        assert four.throughput() > one.throughput()
+
+    def test_tiny_cache_worse_than_no_cache(self, setup):
+        graph, assets, queries = setup
+        tiny = GRoutingCluster(
+            graph, _config("next_ready", cache_capacity_bytes=2048),
+            assets=assets,
+        ).run(queries)
+        nocache = GRoutingCluster(graph, _config("no_cache"),
+                                  assets=assets).run(queries)
+        assert tiny.mean_response_time() > nocache.mean_response_time()
+
+    def test_materialized_storage_holds_graph(self, setup):
+        graph, assets, queries = setup
+        cluster = GRoutingCluster(
+            graph, _config("hash", materialize_storage=True), assets=assets
+        )
+        assert sum(cluster.tier.load_distribution()) == graph.num_nodes
+
+    def test_run_workload_convenience(self, setup):
+        graph, assets, queries = setup
+        report = run_workload(graph, queries[:10], _config("hash"),
+                              assets=assets)
+        assert len(report.records) == 10

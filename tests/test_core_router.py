@@ -1,0 +1,153 @@
+"""Router mechanics: ack-driven dispatch, queues, stealing, fault drain."""
+
+import pytest
+
+from repro import ClusterConfig, GRoutingCluster, GraphAssets
+from repro.core import NeighborAggregationQuery
+from repro.graph import ring_of_cliques
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(8, 5)
+
+
+@pytest.fixture(scope="module")
+def assets(graph):
+    return GraphAssets(graph)
+
+
+def _cluster(graph, assets, routing="hash", processors=3, steal=True,
+             **kwargs):
+    config = ClusterConfig(
+        num_processors=processors,
+        num_storage_servers=2,
+        routing=routing,
+        cache_capacity_bytes=1 << 20,
+        steal=steal,
+        **kwargs,
+    )
+    return GRoutingCluster(graph, config, assets=assets)
+
+
+def _queries(nodes, hops=2):
+    return [NeighborAggregationQuery(node=n, hops=hops) for n in nodes]
+
+
+class TestDispatch:
+    def test_all_queries_complete_exactly_once(self, graph, assets):
+        cluster = _cluster(graph, assets)
+        queries = _queries(range(30))
+        report = cluster.run(queries)
+        assert len(report.records) == 30
+        assert len({r.query_id for r in report.records}) == 30
+
+    def test_one_outstanding_query_per_processor(self, graph, assets):
+        # With 1 processor, executions must be strictly sequential.
+        cluster = _cluster(graph, assets, processors=1)
+        report = cluster.run(_queries(range(10)))
+        spans = sorted((r.started_at, r.finished_at) for r in report.records)
+        for (s1, f1), (s2, _f2) in zip(spans, spans[1:]):
+            assert s2 >= f1
+
+    def test_empty_workload(self, graph, assets):
+        cluster = _cluster(graph, assets)
+        report = cluster.run([])
+        assert report.records == []
+        assert report.makespan == 0.0
+
+    def test_cluster_runs_only_once(self, graph, assets):
+        cluster = _cluster(graph, assets)
+        cluster.run(_queries([0]))
+        with pytest.raises(RuntimeError):
+            cluster.run(_queries([1]))
+
+    def test_hash_routing_respects_intended_processor(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=3,
+                           steal=False)
+        report = cluster.run(_queries(range(12)))
+        for record in report.records:
+            assert record.processor == record.node % 3
+            assert record.intended_processor == record.node % 3
+            assert not record.stolen
+
+
+class TestStealing:
+    def test_skewed_load_triggers_stealing(self, graph, assets):
+        # All queries hash to processor 0 (nodes all ≡ 0 mod 3): with
+        # stealing on, other processors must take some of them.
+        cluster = _cluster(graph, assets, routing="hash", processors=3)
+        nodes = [n for n in range(0, 40) if n % 3 == 0 and graph.has_node(n)]
+        report = cluster.run(_queries(nodes))
+        used = {r.processor for r in report.records}
+        assert len(used) > 1
+        assert report.stolen_count() > 0
+
+    def test_no_steal_keeps_skew(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=3,
+                           steal=False)
+        nodes = [n for n in range(0, 40) if n % 3 == 0 and graph.has_node(n)]
+        report = cluster.run(_queries(nodes))
+        assert {r.processor for r in report.records} == {0}
+
+    def test_stealing_improves_makespan(self, graph, assets):
+        nodes = [n for n in range(0, 40) if n % 3 == 0 and graph.has_node(n)]
+        with_steal = _cluster(graph, assets, processors=3).run(_queries(nodes))
+        without = _cluster(graph, assets, processors=3, steal=False).run(
+            _queries(nodes)
+        )
+        assert with_steal.makespan < without.makespan
+
+    def test_next_ready_never_marks_stolen(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="next_ready", processors=3)
+        report = cluster.run(_queries(range(20)))
+        assert report.stolen_count() == 0
+
+
+class TestLoadTracking:
+    def test_loads_reflect_queue_and_outstanding(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2,
+                           steal=False)
+        router = cluster.router
+        queries = _queries([0, 2, 4, 6])  # all hash to processor 0
+        router.submit(queries)
+        # One query dispatched (outstanding), three queued.
+        assert router.loads()[0] == 4
+        assert router.loads()[1] == 0
+
+    def test_invalid_strategy_target_rejected(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        cluster.strategy.num_processors = 99  # corrupt deliberately
+        with pytest.raises(ValueError):
+            cluster.router.submit(_queries([97]))
+
+
+class TestFaultDrain:
+    def test_removed_processor_work_is_redistributed(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=3,
+                           steal=False)
+        router = cluster.router
+        nodes = [n for n in range(0, 40) if n % 3 == 0 and graph.has_node(n)]
+        router.submit(_queries(nodes))
+        moved = router.remove_processor(0)
+        assert moved > 0
+        cluster.env.run(until=router.done)
+        report_processors = {
+            record.processor for record in router.records[1:]
+        }
+        # Processor 0 finishes at most its in-flight query; the rest of the
+        # work lands on the survivors.
+        assert report_processors <= {0, 1, 2}
+        survivors = [r for r in router.records if r.processor != 0]
+        assert len(survivors) >= len(nodes) - 1
+
+    def test_all_queries_still_complete_after_removal(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="embed", processors=3,
+                           embed_method="lmds", num_landmarks=8,
+                           min_separation=2)
+        router = cluster.router
+        queries = _queries(range(20))
+        router.submit(queries)
+        router.remove_processor(1)
+        cluster.env.run(until=router.done)
+        assert len(router.records) == 20

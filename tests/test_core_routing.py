@@ -1,0 +1,153 @@
+"""Unit tests for the four routing strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmbedRouting,
+    HashRouting,
+    LandmarkRouting,
+    NeighborAggregationQuery,
+    NextReadyRouting,
+)
+from repro.core.assets import GraphAssets
+from repro.graph import ring_of_cliques
+
+
+@pytest.fixture(scope="module")
+def assets():
+    return GraphAssets(ring_of_cliques(6, 6))
+
+
+def _query(node):
+    return NeighborAggregationQuery(node=node, hops=2)
+
+
+class TestNextReady:
+    def test_always_pool(self):
+        strategy = NextReadyRouting()
+        assert strategy.choose(_query(5), [0, 0, 0]) is None
+        assert strategy.choose(_query(5), [9, 0, 3]) is None
+
+    def test_decision_time_constant(self):
+        strategy = NextReadyRouting()
+        assert strategy.decision_time(1) == strategy.decision_time(100)
+
+
+class TestHash:
+    def test_modulo_mapping(self):
+        strategy = HashRouting(4)
+        assert strategy.choose(_query(10), [0] * 4) == 2
+        assert strategy.choose(_query(3), [0] * 4) == 3
+
+    def test_same_node_same_processor(self):
+        strategy = HashRouting(7)
+        picks = {strategy.choose(_query(42), [0] * 7) for _ in range(5)}
+        assert len(picks) == 1
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            HashRouting(0)
+
+
+class TestLandmark:
+    def test_routes_to_nearest_processor(self, assets):
+        index = assets.landmark_index(3, num_landmarks=6, min_separation=2)
+        strategy = LandmarkRouting(index, load_factor=20.0)
+        query = _query(0)
+        expected = int(np.argmin(index.processor_distances(0)))
+        assert strategy.choose(query, [0, 0, 0]) == expected
+
+    def test_load_shifts_choice(self, assets):
+        index = assets.landmark_index(2, num_landmarks=4, min_separation=2)
+        strategy = LandmarkRouting(index, load_factor=1.0)
+        query = _query(0)
+        best = strategy.choose(query, [0, 0])
+        other = 1 - best
+        # Pile load onto the preferred processor until it flips.
+        dists = index.processor_distances(0)
+        gap = abs(float(dists[best] - dists[other]))
+        loads = [0, 0]
+        loads[best] = int(gap) + 2
+        assert strategy.choose(query, loads) == other
+
+    def test_unknown_node_falls_back_to_hash(self, assets):
+        index = assets.landmark_index(3, num_landmarks=6, min_separation=2)
+        strategy = LandmarkRouting(index)
+        assert strategy.choose(_query(10_000), [0, 0, 0]) == 10_000 % 3
+        assert strategy.fallbacks == 1
+
+    def test_decision_time_grows_with_processors(self, assets):
+        index = assets.landmark_index(2, num_landmarks=4, min_separation=2)
+        strategy = LandmarkRouting(index)
+        assert strategy.decision_time(8) > strategy.decision_time(2)
+
+    def test_invalid_load_factor(self, assets):
+        index = assets.landmark_index(2, num_landmarks=4, min_separation=2)
+        with pytest.raises(ValueError):
+            LandmarkRouting(index, load_factor=0)
+
+    def test_nearby_nodes_same_choice(self, assets):
+        # Nodes of the same clique route identically under zero load.
+        index = assets.landmark_index(3, num_landmarks=6, min_separation=2)
+        strategy = LandmarkRouting(index)
+        picks = {strategy.choose(_query(node), [0, 0, 0]) for node in range(6)}
+        assert len(picks) == 1
+
+
+class TestEmbed:
+    def test_on_dispatch_moves_ema(self, assets):
+        embedding = assets.embedding(dim=4, num_landmarks=6, min_separation=2,
+                                     method="lmds")
+        strategy = EmbedRouting(embedding, num_processors=2, alpha=0.5, seed=0)
+        coords = embedding.coordinates_of(0)
+        before = strategy.tracker.means[1].copy()
+        strategy.on_dispatch(_query(0), 1)
+        after = strategy.tracker.means[1]
+        assert np.linalg.norm(after - coords) < np.linalg.norm(before - coords)
+
+    def test_repeated_queries_stick_to_one_processor(self, assets):
+        embedding = assets.embedding(dim=4, num_landmarks=6, min_separation=2,
+                                     method="lmds")
+        strategy = EmbedRouting(embedding, num_processors=3, alpha=0.5, seed=0)
+        query = _query(0)
+        first = strategy.choose(query, [0, 0, 0])
+        strategy.on_dispatch(query, first)
+        # After the EMA pulls toward node 0, it must keep choosing `first`.
+        for _ in range(5):
+            pick = strategy.choose(query, [0, 0, 0])
+            assert pick == first
+            strategy.on_dispatch(query, pick)
+
+    def test_unknown_node_falls_back_to_hash(self, assets):
+        embedding = assets.embedding(dim=4, num_landmarks=6, min_separation=2,
+                                     method="lmds")
+        strategy = EmbedRouting(embedding, num_processors=3)
+        assert strategy.choose(_query(99_999), [0, 0, 0]) == 99_999 % 3
+        assert strategy.fallbacks == 1
+
+    def test_load_balancing_flips_choice(self, assets):
+        embedding = assets.embedding(dim=4, num_landmarks=6, min_separation=2,
+                                     method="lmds")
+        strategy = EmbedRouting(embedding, num_processors=2, load_factor=0.01,
+                                seed=0)
+        query = _query(0)
+        best = strategy.choose(query, [0, 0])
+        loads = [0, 0]
+        loads[best] = 1000
+        assert strategy.choose(query, loads) == 1 - best
+
+    def test_decision_time_grows_with_dim(self, assets):
+        low = EmbedRouting(assets.embedding(dim=2, num_landmarks=6,
+                                            min_separation=2, method="lmds"),
+                           num_processors=4)
+        high = EmbedRouting(assets.embedding(dim=8, num_landmarks=6,
+                                             min_separation=2, method="lmds"),
+                            num_processors=4)
+        assert high.decision_time(4) > low.decision_time(4)
+
+    def test_invalid_load_factor(self, assets):
+        embedding = assets.embedding(dim=2, num_landmarks=6, min_separation=2,
+                                     method="lmds")
+        with pytest.raises(ValueError):
+            EmbedRouting(embedding, num_processors=2, load_factor=-1)

@@ -1,0 +1,96 @@
+"""Tests for the synthetic dataset analogues (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_info,
+    dataset_table,
+    freebase_like,
+    friendster_like,
+    load_dataset,
+    memetracker_like,
+    webgraph_like,
+)
+from repro.graph import CSRGraph
+
+
+SCALE = 0.05  # tiny graphs: structure checks, not benchmarks
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_builds_and_is_deterministic(self, name):
+        a = load_dataset(name, scale=SCALE, seed=3)
+        b = load_dataset(name, scale=SCALE, seed=3)
+        assert a.num_nodes == b.num_nodes
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_seed_changes_graph(self, name):
+        a = load_dataset(name, scale=SCALE, seed=1)
+        b = load_dataset(name, scale=SCALE, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("twitter")
+
+    def test_scale_grows_graph(self):
+        small = webgraph_like(scale=0.05, seed=1)
+        large = webgraph_like(scale=0.1, seed=1)
+        assert large.num_nodes > small.num_nodes
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            memetracker_like(scale=0.0)
+
+    def test_freebase_is_sparsest(self):
+        freebase = freebase_like(scale=SCALE, seed=1)
+        meme = memetracker_like(scale=SCALE, seed=1)
+        assert (freebase.num_edges / freebase.num_nodes
+                < meme.num_edges / meme.num_nodes)
+
+    def test_friendster_has_weaker_hotspot_overlap(self):
+        # The property behind Fig 16(b): 2-hop neighbourhoods of queries
+        # from one hotspot overlap much less on Friendster than on
+        # WebGraph, so caching helps it least. Overlap is measured as
+        # union / sum over 5 query nodes per hotspot (1.0 = disjoint).
+        def mean_disjointness(graph, hotspots=8, per_hotspot=5):
+            csr = CSRGraph.from_graph(graph, direction="both")
+            rng = np.random.default_rng(0)
+            eligible = np.flatnonzero(csr.degrees() > 0)
+            ratios = []
+            for _ in range(hotspots):
+                center = int(eligible[rng.integers(0, eligible.size)])
+                ball = np.flatnonzero(
+                    csr.bfs_distances([center], max_hops=2) >= 0
+                )
+                union, total = set(), 0
+                for _ in range(per_hotspot):
+                    node = int(ball[rng.integers(0, ball.size)])
+                    hood = np.flatnonzero(
+                        csr.bfs_distances([node], max_hops=2) >= 0
+                    )
+                    union.update(hood.tolist())
+                    total += hood.size
+                ratios.append(len(union) / total)
+            return np.mean(ratios)
+
+        web = mean_disjointness(webgraph_like(scale=0.25, seed=1))
+        friend = mean_disjointness(friendster_like(scale=0.25, seed=1))
+        assert friend > 1.2 * web
+
+
+class TestDatasetInfo:
+    def test_info_counts_match_graph(self):
+        graph = freebase_like(scale=SCALE, seed=1)
+        info = dataset_info("freebase", graph)
+        assert info.num_nodes == graph.num_nodes
+        assert info.num_edges == graph.num_edges
+        assert info.record_bytes > 0
+
+    def test_table_covers_all_datasets(self):
+        rows = dataset_table(scale=SCALE, seed=1)
+        assert {r.name for r in rows} == set(DATASETS)

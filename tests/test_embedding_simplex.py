@@ -1,0 +1,123 @@
+"""Nelder-Mead tests: scalar vs known optima, batch vs scalar."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import batch_nelder_mead, nelder_mead
+
+
+def sphere(x):
+    return float((x**2).sum())
+
+
+def rosenbrock(x):
+    return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+
+class TestScalarNelderMead:
+    def test_minimizes_sphere(self):
+        best, value = nelder_mead(sphere, np.array([3.0, -2.0]), max_iter=400)
+        assert value < 1e-6
+        assert np.allclose(best, 0, atol=1e-3)
+
+    def test_minimizes_shifted_quadratic(self):
+        target = np.array([1.5, -0.5, 2.0])
+
+        def f(x):
+            return float(((x - target) ** 2).sum())
+
+        best, value = nelder_mead(f, np.zeros(3), max_iter=600)
+        assert np.allclose(best, target, atol=1e-3)
+
+    def test_rosenbrock_reaches_valley(self):
+        best, value = nelder_mead(
+            rosenbrock, np.array([-1.0, 1.0]), max_iter=2000, xtol=1e-10,
+            ftol=1e-14,
+        )
+        assert value < 1e-3
+
+    def test_starting_at_optimum_stays(self):
+        best, value = nelder_mead(sphere, np.zeros(2), max_iter=100)
+        assert value < 1e-9
+
+    def test_one_dimensional(self):
+        best, value = nelder_mead(lambda x: float((x[0] - 4) ** 2), np.array([0.0]))
+        assert abs(best[0] - 4) < 1e-3
+
+    def test_agrees_with_scipy(self):
+        scipy = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(3)
+        anchor = rng.normal(size=(5, 3))
+        target = rng.uniform(1, 4, size=5)
+
+        def f(x):
+            d = np.sqrt(((anchor - x) ** 2).sum(axis=1))
+            return float((np.abs(d - target) / target).sum())
+
+        ours, ours_val = nelder_mead(f, np.zeros(3), max_iter=1500, xtol=1e-9,
+                                     ftol=1e-12)
+        theirs = scipy.minimize(f, np.zeros(3), method="Nelder-Mead",
+                                options={"maxiter": 1500, "xatol": 1e-9,
+                                         "fatol": 1e-12})
+        assert ours_val <= theirs.fun * 1.25 + 1e-6
+
+
+class TestBatchNelderMead:
+    def test_matches_scalar_on_independent_spheres(self):
+        rng = np.random.default_rng(0)
+        starts = rng.normal(size=(50, 4)) * 3
+        targets = rng.normal(size=(50, 4))
+
+        def batch_f(points):
+            return ((points - targets) ** 2).sum(axis=1)
+
+        best, values = batch_nelder_mead(batch_f, starts, max_iter=400)
+        assert values.max() < 1e-4
+        assert np.allclose(best, targets, atol=1e-2)
+
+    def test_rows_are_independent(self):
+        # Problem i minimizes (x - i)^2: solutions must not leak across rows.
+        n = 20
+        targets = np.arange(n, dtype=np.float64)[:, None]
+
+        def batch_f(points):
+            return ((points - targets) ** 2).sum(axis=1)
+
+        best, values = batch_nelder_mead(
+            batch_f, np.zeros((n, 1)), max_iter=300
+        )
+        assert np.allclose(best[:, 0], np.arange(n), atol=1e-2)
+
+    def test_single_problem_matches_scalar(self):
+        def batch_f(points):
+            return (points**2).sum(axis=1)
+
+        best_batch, val_batch = batch_nelder_mead(
+            batch_f, np.array([[2.0, 2.0]]), max_iter=300
+        )
+        best_scalar, val_scalar = nelder_mead(
+            sphere, np.array([2.0, 2.0]), max_iter=300
+        )
+        assert val_batch[0] == pytest.approx(val_scalar, abs=1e-6)
+
+    def test_early_stop_when_converged(self):
+        def batch_f(points):
+            return (points**2).sum(axis=1)
+
+        # Start at the optimum: convergence should be immediate and cheap.
+        best, values = batch_nelder_mead(
+            batch_f, np.zeros((5, 3)), max_iter=10_000
+        )
+        assert values.max() < 1e-8
+
+    def test_handles_asymmetric_objectives(self):
+        # Mix of quadratic bowls with different curvatures per row.
+        scales = np.array([1.0, 10.0, 100.0])[:, None]
+
+        def batch_f(points):
+            return (scales * points**2).sum(axis=1)
+
+        best, values = batch_nelder_mead(
+            batch_f, np.full((3, 2), 5.0), max_iter=500
+        )
+        assert values.max() < 1e-4

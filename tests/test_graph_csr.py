@@ -1,0 +1,151 @@
+"""Tests for the CSR view: cross-checked against pure-Python traversal."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    Graph,
+    barabasi_albert,
+    bfs_distances,
+    erdos_renyi,
+    k_hop_neighborhood,
+    ring_of_cliques,
+)
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return erdos_renyi(200, 800, seed=42)
+
+
+class TestConstruction:
+    def test_out_direction_row_contents(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(2, 1)
+        csr = CSRGraph.from_graph(g, direction="out")
+        assert sorted(csr.neighbors_of(csr.index_of(0)).tolist()) == [
+            csr.index_of(1),
+            csr.index_of(2),
+        ]
+        assert csr.neighbors_of(csr.index_of(1)).size == 0
+
+    def test_in_direction_row_contents(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 1)
+        csr = CSRGraph.from_graph(g, direction="in")
+        row = csr.neighbors_of(csr.index_of(1))
+        assert sorted(row.tolist()) == sorted(
+            [csr.index_of(0), csr.index_of(2)]
+        )
+
+    def test_both_direction_deduplicates(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        csr = CSRGraph.from_graph(g, direction="both")
+        assert csr.neighbors_of(csr.index_of(0)).tolist() == [csr.index_of(1)]
+
+    def test_noncontiguous_node_ids(self):
+        g = Graph()
+        g.add_edge(100, 7)
+        g.add_edge(7, 55)
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_nodes == 3
+        assert set(csr.node_ids.tolist()) == {7, 55, 100}
+        # Compact ids map back consistently.
+        for nid in (7, 55, 100):
+            assert csr.node_ids[csr.index_of(nid)] == nid
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_graph(Graph(), direction="up")
+
+    def test_degrees_match_graph(self, random_graph):
+        csr = CSRGraph.from_graph(random_graph, direction="out")
+        degrees = csr.degrees()
+        for node in random_graph.nodes():
+            assert degrees[csr.index_of(node)] == random_graph.out_degree(node)
+
+
+class TestBfs:
+    def test_matches_python_bfs_on_random_graph(self, random_graph):
+        csr = CSRGraph.from_graph(random_graph, direction="both")
+        for source in (0, 17, 123):
+            expected = bfs_distances(random_graph, source, direction="both")
+            dist = csr.bfs_distances([csr.index_of(source)])
+            for i, nid in enumerate(csr.node_ids):
+                want = expected.get(int(nid), -1)
+                assert dist[i] == want
+
+    def test_max_hops_cuts_off(self, random_graph):
+        csr = CSRGraph.from_graph(random_graph, direction="both")
+        dist = csr.bfs_distances([0], max_hops=2)
+        assert dist.max() <= 2
+
+    def test_multi_source(self):
+        g = ring_of_cliques(4, 4)
+        csr = CSRGraph.from_graph(g, direction="both")
+        sources = [csr.index_of(0), csr.index_of(8)]
+        dist = csr.bfs_distances(sources)
+        assert dist[csr.index_of(0)] == 0
+        assert dist[csr.index_of(8)] == 0
+        # Every node reached (ring is connected).
+        assert (dist >= 0).all()
+
+    def test_empty_sources(self):
+        g = ring_of_cliques(2, 3)
+        csr = CSRGraph.from_graph(g)
+        dist = csr.bfs_distances([])
+        assert (dist == -1).all()
+
+    def test_unreachable_marked(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(9)
+        csr = CSRGraph.from_graph(g, direction="both")
+        dist = csr.bfs_distances([csr.index_of(0)])
+        assert dist[csr.index_of(9)] == -1
+
+    def test_directed_bfs_respects_direction(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        csr = CSRGraph.from_graph(g, direction="out")
+        dist = csr.bfs_distances([csr.index_of(2)])
+        assert dist[csr.index_of(0)] == -1
+
+
+class TestFrontiers:
+    def test_k_hop_frontiers_match_neighborhood(self, random_graph):
+        csr = CSRGraph.from_graph(random_graph, direction="both")
+        source = 5
+        frontiers = csr.k_hop_frontiers(csr.index_of(source), 2)
+        got = {
+            int(csr.node_ids[i]) for layer in frontiers for i in layer
+        }
+        assert got == k_hop_neighborhood(random_graph, source, 2)
+
+    def test_frontier_layers_disjoint(self, random_graph):
+        csr = CSRGraph.from_graph(random_graph, direction="both")
+        frontiers = csr.k_hop_frontiers(3, 3)
+        seen = set()
+        for layer in frontiers:
+            layer_set = set(layer.tolist())
+            assert not (layer_set & seen)
+            seen |= layer_set
+
+    def test_neighborhood_size(self, random_graph):
+        csr = CSRGraph.from_graph(random_graph, direction="both")
+        for source in (0, 9, 42):
+            expected = len(k_hop_neighborhood(random_graph, source, 2))
+            assert csr.neighborhood_size(csr.index_of(source), 2) == expected
+
+    def test_on_scale_free_graph(self):
+        g = barabasi_albert(300, 3, seed=1)
+        csr = CSRGraph.from_graph(g, direction="both")
+        expected = len(k_hop_neighborhood(g, 0, 2))
+        assert csr.neighborhood_size(csr.index_of(0), 2) == expected

@@ -1,0 +1,173 @@
+"""Unit tests for the labeled directed graph."""
+
+import pytest
+
+from repro.graph import Graph, GraphError
+
+
+@pytest.fixture
+def triangle():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(2, 0)
+    return g
+
+
+class TestNodes:
+    def test_add_node(self):
+        g = Graph()
+        g.add_node(5)
+        assert g.has_node(5)
+        assert 5 in g
+        assert g.num_nodes == 1
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.num_nodes == 1
+
+    def test_node_label(self):
+        g = Graph()
+        g.add_node(1, label="person")
+        assert g.node_label(1) == "person"
+
+    def test_node_label_default_none(self):
+        g = Graph()
+        g.add_node(1)
+        assert g.node_label(1) is None
+
+    def test_set_node_label(self):
+        g = Graph()
+        g.add_node(1)
+        g.set_node_label(1, "company")
+        assert g.node_label(1) == "company"
+
+    def test_relabel_via_add(self):
+        g = Graph()
+        g.add_node(1, label="a")
+        g.add_node(1, label="b")
+        assert g.node_label(1) == "b"
+
+    def test_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.node_label(99)
+
+    def test_remove_node_drops_incident_edges(self, triangle):
+        triangle.remove_node(1)
+        assert not triangle.has_node(1)
+        assert triangle.num_edges == 1  # only 2 -> 0 remains
+        assert triangle.has_edge(2, 0)
+
+    def test_remove_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.remove_node(3)
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        assert g.add_edge(1, 2) is True
+        assert g.has_node(1) and g.has_node(2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_duplicate_edge_not_counted(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.add_edge(1, 2) is False
+        assert g.num_edges == 1
+
+    def test_edge_label(self):
+        g = Graph()
+        g.add_edge(1, 2, label="founded")
+        assert g.edge_label(1, 2) == "founded"
+
+    def test_duplicate_edge_updates_label(self):
+        g = Graph()
+        g.add_edge(1, 2, label="old")
+        g.add_edge(1, 2, label="new")
+        assert g.edge_label(1, 2) == "new"
+
+    def test_edge_label_missing_edge_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            g.edge_label(1, 2)
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_edge(0, 2)
+
+    def test_edges_iterates_all(self, triangle):
+        assert sorted(triangle.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_self_loop_allowed(self):
+        g = Graph()
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert g.degree(1) == 2  # counted once in, once out
+
+
+class TestAdjacency:
+    def test_out_and_in_neighbors(self, triangle):
+        assert list(triangle.out_neighbors(0)) == [1]
+        assert list(triangle.in_neighbors(0)) == [2]
+
+    def test_bidirected_neighbors_deduplicated(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert sorted(g.neighbors(1)) == [2]
+
+    def test_bidirected_neighbors_union(self, triangle):
+        assert sorted(triangle.neighbors(0)) == [1, 2]
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+        assert triangle.degree(0) == 2
+
+    def test_degree_of_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.degree(7)
+
+
+class TestWholeGraph:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_edge(0, 2)
+        assert not triangle.has_edge(0, 2)
+        assert clone.num_edges == triangle.num_edges + 1
+
+    def test_copy_preserves_labels(self):
+        g = Graph()
+        g.add_node(1, label="x")
+        g.add_edge(1, 2, label="rel")
+        clone = g.copy()
+        assert clone.node_label(1) == "x"
+        assert clone.edge_label(1, 2) == "rel"
+
+    def test_subgraph_induced(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 2)
+
+    def test_subgraph_ignores_missing_nodes(self, triangle):
+        sub = triangle.subgraph([0, 999])
+        assert sub.num_nodes == 1
+
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3

@@ -1,0 +1,148 @@
+"""Tests for the random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    copying_model,
+    erdos_renyi,
+    ring_of_cliques,
+    rmat,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 120, seed=0)
+        assert g.num_nodes == 50
+        assert g.num_edges == 120
+
+    def test_deterministic(self):
+        a = erdos_renyi(40, 80, seed=9)
+        b = erdos_renyi(40, 80, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(40, 80, seed=1)
+        b = erdos_renyi(40, 80, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, 100, seed=3)
+        assert all(u != v for u, v in g.edges())
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(1, 5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        m = 3
+        n = 100
+        g = barabasi_albert(n, m, seed=0)
+        assert g.num_nodes == n
+        # Seed clique has m(m+1)/2 edges; each later node adds exactly m.
+        assert g.num_edges == m * (m + 1) // 2 + (n - m - 1) * m
+
+    def test_power_law_hubs_exist(self):
+        g = barabasi_albert(2000, 2, seed=1)
+        degrees = sorted((g.degree(u) for u in g.nodes()), reverse=True)
+        # The top hub should be far above the average degree (heavy tail).
+        average = 2 * g.num_edges / g.num_nodes
+        assert degrees[0] > 8 * average
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        a = barabasi_albert(200, 4, seed=5)
+        b = barabasi_albert(200, 4, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestRmat:
+    def test_counts_close_to_requested(self):
+        g = rmat(10, 4000, seed=0)
+        assert g.num_nodes == 1024
+        assert g.num_edges == 4000
+
+    def test_skewed_degree_distribution(self):
+        g = rmat(11, 10000, seed=2)
+        degrees = np.array([g.degree(u) for u in g.nodes()])
+        # R-MAT with Graph500 params is highly skewed: max >> mean.
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, 10, a=0.5, b=0.3, c=0.3)
+
+    def test_deterministic(self):
+        a = rmat(8, 500, seed=4)
+        b = rmat(8, 500, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz(10, 4, rewire_prob=0.0, seed=0)
+        for u in range(10):
+            assert g.has_edge(u, (u + 1) % 10)
+            assert g.has_edge(u, (u + 2) % 10)
+
+    def test_edge_count_constant_under_rewiring(self):
+        lattice = watts_strogatz(50, 6, 0.0, seed=0)
+        rewired = watts_strogatz(50, 6, 0.3, seed=0)
+        assert lattice.num_edges == rewired.num_edges
+
+    def test_odd_nearest_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+
+
+class TestCopyingModel:
+    def test_node_count_and_out_degree_bound(self):
+        g = copying_model(300, 5, seed=0)
+        assert g.num_nodes == 300
+        for u in range(6, 300):
+            assert g.out_degree(u) <= 5
+
+    def test_copying_creates_popular_pages(self):
+        g = copying_model(2000, 5, copy_prob=0.8, seed=1)
+        in_degrees = sorted((g.in_degree(u) for u in g.nodes()), reverse=True)
+        mean_in = g.num_edges / g.num_nodes
+        assert in_degrees[0] > 10 * mean_in
+
+    def test_neighborhood_overlap_is_high(self):
+        # The property the WebGraph analogue needs: pages linked to by a
+        # common prototype share much of their out-neighborhood.
+        g = copying_model(1000, 8, copy_prob=0.9, seed=3)
+        overlaps = []
+        for u in range(500, 520):
+            for v in range(u + 1, u + 3):
+                a = set(g.out_neighbors(u))
+                b = set(g.out_neighbors(v))
+                if a and b:
+                    overlaps.append(len(a & b) / min(len(a), len(b)))
+        # Some pairs must overlap strongly (copied prototypes).
+        assert max(overlaps) > 0.4
+
+    def test_rejects_zero_out_degree(self):
+        with pytest.raises(ValueError):
+            copying_model(10, 0)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(3, 4)
+        assert g.num_nodes == 12
+        # Each clique: 4*3 directed edges; 3 bridges of 2 directed edges.
+        assert g.num_edges == 3 * 12 + 3 * 2
+
+    def test_single_clique_no_bridges(self):
+        g = ring_of_cliques(1, 3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 6

@@ -1,0 +1,60 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.graph import Graph, erdos_renyi
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+@pytest.fixture
+def sample():
+    g = erdos_renyi(30, 60, seed=7)
+    g.add_node(999)  # isolated node must survive round trips
+    return g
+
+
+def _same_graph(a, b):
+    return (
+        sorted(a.nodes()) == sorted(b.nodes())
+        and sorted(a.edges()) == sorted(b.edges())
+    )
+
+
+def test_edge_list_round_trip(tmp_path, sample):
+    path = tmp_path / "graph.tsv"
+    write_edge_list(sample, path)
+    loaded = read_edge_list(path)
+    # Edge lists cannot carry isolated nodes; compare edges only.
+    assert sorted(loaded.edges()) == sorted(sample.edges())
+
+
+def test_edge_list_skips_comments(tmp_path):
+    path = tmp_path / "g.tsv"
+    path.write_text("# a comment\n1\t2\n\n2\t3\n")
+    g = read_edge_list(path)
+    assert sorted(g.edges()) == [(1, 2), (2, 3)]
+
+
+def test_edge_list_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("1\t2\t3\n")
+    with pytest.raises(ValueError):
+        read_edge_list(path)
+
+
+def test_npz_round_trip(tmp_path, sample):
+    path = tmp_path / "graph.npz"
+    save_npz(sample, path)
+    loaded = load_npz(path)
+    assert _same_graph(sample, loaded)
+
+
+def test_npz_preserves_isolated_nodes(tmp_path):
+    g = Graph()
+    g.add_node(1)
+    g.add_node(2)
+    g.add_edge(3, 4)
+    path = tmp_path / "iso.npz"
+    save_npz(g, path)
+    loaded = load_npz(path)
+    assert _same_graph(g, loaded)

@@ -1,0 +1,157 @@
+"""Tests for traversal primitives: BFS, k-hop, RWR, bidirectional search."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bidirectional_reachability,
+    k_hop_neighborhood,
+    neighbor_aggregation,
+    per_hop_frontiers,
+    random_walk_with_restart,
+    ring_of_cliques,
+)
+
+
+@pytest.fixture
+def path_graph():
+    """0 -> 1 -> 2 -> 3 -> 4 (directed path)."""
+    g = Graph()
+    for u in range(4):
+        g.add_edge(u, u + 1)
+    return g
+
+
+class TestBfsDistances:
+    def test_directed_out(self, path_graph):
+        dist = bfs_distances(path_graph, 0, direction="out")
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_directed_in(self, path_graph):
+        dist = bfs_distances(path_graph, 4, direction="in")
+        assert dist == {4: 0, 3: 1, 2: 2, 1: 3, 0: 4}
+
+    def test_bidirected_sees_both_ways(self, path_graph):
+        dist = bfs_distances(path_graph, 2, direction="both")
+        assert dist == {2: 0, 1: 1, 3: 1, 0: 2, 4: 2}
+
+    def test_max_hops_bound(self, path_graph):
+        dist = bfs_distances(path_graph, 0, max_hops=2, direction="out")
+        assert dist == {0: 0, 1: 1, 2: 2}
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        dist = bfs_distances(g, 0)
+        assert 5 not in dist
+
+    def test_bad_direction_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs_distances(path_graph, 0, direction="sideways")
+
+
+class TestKHopNeighborhood:
+    def test_excludes_source(self, path_graph):
+        assert 0 not in k_hop_neighborhood(path_graph, 0, 2)
+
+    def test_ring_of_cliques_one_hop(self):
+        g = ring_of_cliques(4, 5)
+        # Node 1 is an interior clique member: 1-hop = its 4 clique mates.
+        assert k_hop_neighborhood(g, 1, 1) == {0, 2, 3, 4}
+
+    def test_two_hop_crosses_bridge(self):
+        g = ring_of_cliques(4, 5)
+        # Node 0 bridges to cliques 1 and 3; 1-hop includes both bridgeheads.
+        hood = k_hop_neighborhood(g, 0, 1)
+        assert 5 in hood and 15 in hood
+
+    def test_per_hop_frontiers_partition_neighborhood(self, path_graph):
+        frontiers = per_hop_frontiers(path_graph, 0, 3, direction="out")
+        assert [sorted(f) for f in frontiers] == [[1], [2], [3]]
+        union = set().union(*map(set, frontiers))
+        assert union == k_hop_neighborhood(path_graph, 0, 3, direction="out")
+
+
+class TestNeighborAggregation:
+    def test_counts_all(self, path_graph):
+        assert neighbor_aggregation(path_graph, 0, 2, direction="out") == 2
+
+    def test_counts_by_label(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(1, 3)
+        g.set_node_label(1, "red")
+        g.set_node_label(3, "red")
+        g.set_node_label(2, "blue")
+        assert neighbor_aggregation(g, 0, 2, label="red", direction="out") == 2
+        assert neighbor_aggregation(g, 0, 2, label="blue", direction="out") == 1
+        assert neighbor_aggregation(g, 0, 2, label="green", direction="out") == 0
+
+
+class TestRandomWalkWithRestart:
+    def test_path_length(self, path_graph):
+        path = random_walk_with_restart(path_graph, 0, steps=7)
+        assert len(path) == 8
+        assert path[0] == 0
+
+    def test_walk_stays_on_edges_or_restarts(self):
+        g = ring_of_cliques(3, 4)
+        rng = random.Random(7)
+        path = random_walk_with_restart(g, 0, steps=50, rng=rng)
+        neighbors_of = {u: set(g.neighbors(u)) | {0} for u in set(path)}
+        for here, there in zip(path, path[1:]):
+            assert there in neighbors_of[here]
+
+    def test_restart_prob_one_never_leaves(self, path_graph):
+        path = random_walk_with_restart(path_graph, 2, steps=5, restart_prob=1.0)
+        assert path == [2] * 6
+
+    def test_dead_end_forces_restart(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        path = random_walk_with_restart(
+            g, 0, steps=4, restart_prob=0.0, direction="out",
+            rng=random.Random(1),
+        )
+        # From 1 there is no out-edge: must restart to 0.
+        assert path == [0, 1, 0, 1, 0]
+
+    def test_deterministic_with_seeded_rng(self, path_graph):
+        a = random_walk_with_restart(path_graph, 0, 20, rng=random.Random(3))
+        b = random_walk_with_restart(path_graph, 0, 20, rng=random.Random(3))
+        assert a == b
+
+
+class TestBidirectionalReachability:
+    def test_trivial_same_node(self, path_graph):
+        assert bidirectional_reachability(path_graph, 2, 2, 0)
+
+    def test_exact_hop_budget(self, path_graph):
+        assert bidirectional_reachability(path_graph, 0, 4, 4)
+
+    def test_insufficient_hops(self, path_graph):
+        assert not bidirectional_reachability(path_graph, 0, 4, 3)
+
+    def test_zero_hops_different_nodes(self, path_graph):
+        assert not bidirectional_reachability(path_graph, 0, 1, 0)
+
+    def test_direction_matters(self, path_graph):
+        assert not bidirectional_reachability(path_graph, 4, 0, 10)
+
+    def test_matches_forward_bfs_on_random_graphs(self):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(60, 150, seed=11)
+        rng = random.Random(5)
+        for _ in range(50):
+            s = rng.randrange(60)
+            t = rng.randrange(60)
+            h = rng.randrange(5)
+            forward = bfs_distances(g, s, max_hops=h, direction="out")
+            expected = t in forward and forward[t] <= h
+            assert bidirectional_reachability(g, s, t, h) == expected

@@ -1,0 +1,289 @@
+"""Tests for landmark selection, distances, assignment and the index."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, Graph, barabasi_albert, ring_of_cliques
+from repro.graph.traversal import bfs_distances
+from repro.landmarks import (
+    LandmarkDistances,
+    LandmarkIndex,
+    UNREACHABLE,
+    assign_landmarks_to_processors,
+    node_processor_distances,
+    select_landmarks,
+)
+
+
+@pytest.fixture(scope="module")
+def clique_ring():
+    graph = ring_of_cliques(6, 6)
+    csr = CSRGraph.from_graph(graph, direction="both")
+    return graph, csr
+
+
+@pytest.fixture(scope="module")
+def scale_free():
+    graph = barabasi_albert(400, 3, seed=2)
+    csr = CSRGraph.from_graph(graph, direction="both")
+    return graph, csr
+
+
+class TestSelection:
+    def test_selects_requested_count(self, scale_free):
+        _graph, csr = scale_free
+        landmarks = select_landmarks(csr, 10, min_separation=2)
+        assert len(landmarks) == 10
+
+    def test_landmarks_respect_separation(self, scale_free):
+        graph, csr = scale_free
+        separation = 3
+        landmarks = select_landmarks(csr, 8, min_separation=separation)
+        ids = [int(csr.node_ids[l]) for l in landmarks]
+        for i, a in enumerate(ids):
+            dist = bfs_distances(graph, a, max_hops=separation - 1)
+            for b in ids[i + 1:]:
+                assert b not in dist, f"{a} and {b} closer than {separation}"
+
+    def test_prefers_high_degree(self, scale_free):
+        _graph, csr = scale_free
+        landmarks = select_landmarks(csr, 5, min_separation=1)
+        degrees = csr.degrees()
+        # With separation 1 nothing is discarded: exactly the top-5 degrees.
+        top5 = set(np.argsort(-degrees, kind="stable")[:5].tolist())
+        assert set(landmarks) == top5
+
+    def test_returns_fewer_when_exhausted(self, clique_ring):
+        _graph, csr = clique_ring
+        # With a huge separation the whole ring supports only ~1-2 landmarks.
+        landmarks = select_landmarks(csr, 30, min_separation=50)
+        assert 1 <= len(landmarks) < 30
+
+    def test_isolated_nodes_never_selected(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_node(99)
+        csr = CSRGraph.from_graph(g, direction="both")
+        landmarks = select_landmarks(csr, 5, min_separation=1)
+        assert csr.index_of(99) not in landmarks
+
+    def test_bad_parameters(self, clique_ring):
+        _graph, csr = clique_ring
+        with pytest.raises(ValueError):
+            select_landmarks(csr, 0)
+        with pytest.raises(ValueError):
+            select_landmarks(csr, 3, min_separation=0)
+
+
+class TestLandmarkDistances:
+    def test_matrix_matches_python_bfs(self, clique_ring):
+        graph, csr = clique_ring
+        landmarks = select_landmarks(csr, 4, min_separation=2)
+        table = LandmarkDistances.compute(csr, landmarks)
+        for row, landmark in enumerate(landmarks):
+            source = int(csr.node_ids[landmark])
+            expected = bfs_distances(graph, source, direction="both")
+            for i, nid in enumerate(csr.node_ids):
+                assert table.matrix[row, i] == expected.get(int(nid), -1)
+
+    def test_pair_matrix_diagonal_zero(self, clique_ring):
+        _graph, csr = clique_ring
+        landmarks = select_landmarks(csr, 4, min_separation=2)
+        table = LandmarkDistances.compute(csr, landmarks)
+        assert (np.diag(table.pair_matrix()) == 0).all()
+
+    def test_triangle_bounds_hold(self, scale_free):
+        graph, csr = scale_free
+        landmarks = select_landmarks(csr, 6, min_separation=2)
+        table = LandmarkDistances.compute(csr, landmarks)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            u, v = rng.integers(0, csr.num_nodes, size=2)
+            if u == v:
+                continue
+            lower, upper = table.triangle_bounds(int(u), int(v))
+            true = bfs_distances(
+                graph, int(csr.node_ids[u]), direction="both"
+            ).get(int(csr.node_ids[v]))
+            if true is None:
+                continue
+            assert lower <= true <= upper
+
+    def test_storage_bytes_linear_in_nodes(self, scale_free):
+        _graph, csr = scale_free
+        landmarks = select_landmarks(csr, 4, min_separation=2)
+        table = LandmarkDistances.compute(csr, landmarks)
+        assert table.storage_bytes() == 4 * csr.num_nodes * 4  # int32
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LandmarkDistances([0, 1], np.zeros((3, 5), dtype=np.int32))
+
+
+class TestAssignment:
+    def test_every_landmark_assigned_once(self):
+        rng = np.random.default_rng(1)
+        pair = rng.integers(1, 10, size=(12, 12))
+        pair = (pair + pair.T) // 2
+        np.fill_diagonal(pair, 0)
+        groups = assign_landmarks_to_processors(pair, 4)
+        flat = [l for g in groups for l in g]
+        assert sorted(flat) == list(range(12))
+
+    def test_first_two_pivots_are_farthest_pair(self):
+        pair = np.array(
+            [
+                [0, 1, 9, 2],
+                [1, 0, 3, 2],
+                [9, 3, 0, 4],
+                [2, 2, 4, 0],
+            ]
+        )
+        groups = assign_landmarks_to_processors(pair, 2)
+        pivots = {groups[0][0], groups[1][0]}
+        assert pivots == {0, 2}
+
+    def test_more_processors_than_landmarks(self):
+        pair = np.array([[0, 2], [2, 0]])
+        groups = assign_landmarks_to_processors(pair, 5)
+        assert len(groups) == 5
+        assert sum(len(g) for g in groups) == 2
+        assert groups[2] == [] and groups[4] == []
+
+    def test_single_landmark(self):
+        groups = assign_landmarks_to_processors(np.zeros((1, 1)), 3)
+        assert groups[0] == [0]
+
+    def test_unreachable_pairs_attract_pivots(self):
+        # Landmarks 0-1 connected; landmark 2 in another component.
+        pair = np.array(
+            [
+                [0, 1, UNREACHABLE],
+                [1, 0, UNREACHABLE],
+                [UNREACHABLE, UNREACHABLE, 0],
+            ]
+        )
+        groups = assign_landmarks_to_processors(pair, 2)
+        # The isolated landmark must be a pivot (it is "farthest").
+        pivots = {g[0] for g in groups if g}
+        assert 2 in pivots
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assign_landmarks_to_processors(np.zeros((2, 2)), 0)
+        with pytest.raises(ValueError):
+            assign_landmarks_to_processors(np.zeros((0, 0)), 2)
+        with pytest.raises(ValueError):
+            assign_landmarks_to_processors(np.zeros((2, 3)), 2)
+
+    def test_node_processor_distances_min_over_group(self):
+        matrix = np.array(
+            [
+                [0, 1, 2],
+                [5, 0, 1],
+                [3, 3, 0],
+            ],
+            dtype=np.int32,
+        )
+        groups = [[0, 2], [1]]
+        table = node_processor_distances(matrix, groups)
+        assert table.shape == (3, 2)
+        assert table[0, 0] == 0  # min(matrix[0,0], matrix[2,0])
+        assert table[0, 1] == 5
+        assert table[2, 0] == 0  # min(2, 0)
+
+    def test_node_processor_distances_empty_group_inf(self):
+        matrix = np.array([[0, 1]], dtype=np.int32)
+        table = node_processor_distances(matrix, [[0], []])
+        assert np.isinf(table[:, 1]).all()
+
+    def test_unreachable_becomes_inf(self):
+        matrix = np.array([[UNREACHABLE, 2]], dtype=np.int32)
+        table = node_processor_distances(matrix, [[0]])
+        assert np.isinf(table[0, 0])
+        assert table[1, 0] == 2
+
+
+class TestLandmarkIndex:
+    def test_build_produces_table_for_all_nodes(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=3, num_landmarks=6,
+                                    min_separation=2)
+        for node in graph.nodes():
+            dists = index.processor_distances(node)
+            assert dists is not None
+            assert dists.shape == (3,)
+            assert np.isfinite(dists).any()
+
+    def test_nearby_nodes_prefer_same_processor(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=3, num_landmarks=6,
+                                    min_separation=2)
+        # Nodes of one clique should mostly agree on their best processor.
+        agreements = 0
+        for clique in range(6):
+            base = clique * 6
+            choices = {
+                int(np.argmin(index.processor_distances(base + i)))
+                for i in range(6)
+            }
+            if len(choices) == 1:
+                agreements += 1
+        assert agreements >= 4  # most cliques route as a unit
+
+    def test_unknown_node_returns_none(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=2, num_landmarks=4,
+                                    min_separation=2)
+        assert index.processor_distances(10_000) is None
+        assert not index.knows(10_000)
+
+    def test_add_node_uses_neighbor_relaxation(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=3, num_landmarks=6,
+                                    min_separation=2)
+        neighbor = 0
+        new_node = 999
+        index.add_node(new_node, [neighbor])
+        new_vec = index.landmark_vector(new_node)
+        old_vec = index.landmark_vector(neighbor)
+        assert np.allclose(new_vec, old_vec + 1.0)
+        # Table row is consistent with the vector.
+        assert index.processor_distances(new_node) is not None
+
+    def test_add_node_without_known_neighbors_is_unroutable(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=2, num_landmarks=4,
+                                    min_separation=2)
+        index.add_node(777, [111111])
+        assert np.isinf(index.processor_distances(777)).all()
+
+    def test_add_duplicate_node_rejected(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=2, num_landmarks=4,
+                                    min_separation=2)
+        with pytest.raises(ValueError):
+            index.add_node(0, [1])
+
+    def test_update_edge_improves_distances(self):
+        # Path graph: adding a shortcut edge shrinks landmark distances.
+        g = Graph()
+        for u in range(11):
+            g.add_edge(u, u + 1)
+            g.add_edge(u + 1, u)
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        far_node = 11
+        before = index.landmark_vector(far_node).copy()
+        g.add_edge(0, 10)
+        g.add_edge(10, 0)
+        index.update_edge(g, 0, 10, added=True)
+        after = index.landmark_vector(far_node)
+        assert (after <= before).all()
+        assert (after < before).any()
+
+    def test_storage_bytes_counts_table(self, clique_ring):
+        graph, _csr = clique_ring
+        index = LandmarkIndex.build(graph, num_processors=4, num_landmarks=6,
+                                    min_separation=2)
+        assert index.storage_bytes() == graph.num_nodes * 4 * 4  # float32 x P

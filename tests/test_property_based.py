@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ProcessorCache
+from repro.embedding import batch_nelder_mead, nelder_mead
+from repro.graph import CSRGraph, Graph, bfs_distances
+from repro.storage import AdjacencyRecord, LogStructuredStore, murmur3_32
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+cache_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "put"]),
+        st.integers(min_value=0, max_value=30),  # key
+        st.integers(min_value=0, max_value=64),  # size (for put)
+    ),
+    max_size=200,
+)
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=cache_ops, capacity=st.integers(min_value=0, max_value=256))
+    def test_never_exceeds_capacity(self, ops, capacity):
+        cache = ProcessorCache(capacity)
+        for op, key, size in ops:
+            if op == "get":
+                cache.get(key)
+            else:
+                cache.put(key, size)
+            assert cache.size_bytes <= capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=cache_ops)
+    def test_stats_balance(self, ops):
+        cache = ProcessorCache(128)
+        gets = 0
+        for op, key, size in ops:
+            if op == "get":
+                cache.get(key)
+                gets += 1
+            else:
+                cache.put(key, size)
+        assert cache.stats.hits + cache.stats.misses == gets
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=cache_ops, policy=st.sampled_from(["lru", "fifo", "lfu"]))
+    def test_size_bytes_matches_entries(self, ops, policy):
+        cache = ProcessorCache(200, policy=policy)
+        sizes = {}
+        for op, key, size in ops:
+            if op == "put":
+                cache.put(key, size)
+                sizes[key] = size
+            else:
+                cache.get(key)
+        total = sum(sizes[k] for k in sizes if k in cache)
+        assert cache.size_bytes == total
+
+
+# ---------------------------------------------------------------------------
+# Record codec round trips
+# ---------------------------------------------------------------------------
+
+# The codec canonicalizes empty labels to None (a zero-length label is
+# indistinguishable from "no label" on the wire), so strategies use
+# non-empty label text.
+labels = st.one_of(
+    st.none(),
+    st.text(alphabet=string.printable, min_size=1, max_size=12),
+)
+edges = st.lists(
+    st.tuples(st.integers(min_value=-(2**40), max_value=2**40), labels),
+    max_size=20,
+)
+
+
+class TestRecordProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        node=st.integers(min_value=-(2**40), max_value=2**40),
+        out_edges=edges,
+        in_edges=edges,
+        node_label=labels,
+    )
+    def test_encode_decode_round_trip(self, node, out_edges, in_edges,
+                                      node_label):
+        record = AdjacencyRecord(node, out_edges, in_edges, node_label)
+        decoded = AdjacencyRecord.decode(record.encode())
+        assert decoded == record
+
+    @settings(max_examples=100, deadline=None)
+    @given(node=st.integers(min_value=0, max_value=2**30), out_edges=edges,
+           in_edges=edges)
+    def test_size_bytes_is_exact(self, node, out_edges, in_edges):
+        record = AdjacencyRecord(node, out_edges, in_edges)
+        assert record.size_bytes() == len(record.encode())
+
+
+# ---------------------------------------------------------------------------
+# MurmurHash3
+# ---------------------------------------------------------------------------
+
+class TestMurmurProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=64), seed=st.integers(0, 2**32 - 1))
+    def test_range_and_determinism(self, data, seed):
+        value = murmur3_32(data, seed)
+        assert 0 <= value < 2**32
+        assert murmur3_32(data, seed) == value
+
+
+# ---------------------------------------------------------------------------
+# Log-structured store vs a plain dict model
+# ---------------------------------------------------------------------------
+
+store_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "get"]),
+        st.integers(min_value=0, max_value=15),
+        st.binary(min_size=0, max_size=40),
+    ),
+    max_size=150,
+)
+
+
+class TestStoreModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=store_ops)
+    def test_matches_dict_model(self, ops):
+        store = LogStructuredStore(segment_bytes=128, clean_threshold=0.4)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            elif op == "delete" and key in model:
+                store.delete(key)
+                del model[key]
+            else:
+                assert (key in store) == (key in model)
+                if key in model:
+                    assert store.get(key) == model[key]
+        assert len(store) == len(model)
+        for key, value in model.items():
+            assert store.get(key) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=store_ops)
+    def test_utilization_bounded(self, ops):
+        store = LogStructuredStore(segment_bytes=128, clean_threshold=0.4)
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+            elif op == "delete" and key in store:
+                store.delete(key)
+            assert 0.0 <= store.utilization() <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Graph mutation invariants
+# ---------------------------------------------------------------------------
+
+graph_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=120,
+)
+
+
+class TestGraphProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=graph_ops)
+    def test_edge_count_and_symmetry(self, ops):
+        graph = Graph()
+        model = set()
+        for op, u, v in ops:
+            if op == "add":
+                graph.add_edge(u, v)
+                model.add((u, v))
+            elif (u, v) in model:
+                graph.remove_edge(u, v)
+                model.remove((u, v))
+        assert graph.num_edges == len(model)
+        assert set(graph.edges()) == model
+        # in/out adjacency stay mirror images.
+        for u, v in model:
+            assert v in graph.out_neighbors(u)
+            assert u in graph.in_neighbors(v)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        edge_list=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)),
+            min_size=1, max_size=120,
+        ),
+        source=st.integers(0, 40),
+    )
+    def test_csr_bfs_matches_python_bfs(self, edge_list, source):
+        graph = Graph()
+        graph.add_node(source)
+        for u, v in edge_list:
+            graph.add_edge(u, v)
+        csr = CSRGraph.from_graph(graph, direction="both")
+        expected = bfs_distances(graph, source, direction="both")
+        dist = csr.bfs_distances([csr.index_of(source)])
+        for i, nid in enumerate(csr.node_ids):
+            assert dist[i] == expected.get(int(nid), -1)
+
+
+# ---------------------------------------------------------------------------
+# Optimizers
+# ---------------------------------------------------------------------------
+
+class TestOptimizerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        target=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=2, max_size=4,
+        )
+    )
+    def test_scalar_nm_finds_quadratic_minimum(self, target):
+        goal = np.array(target)
+
+        def objective(x):
+            return float(((x - goal) ** 2).sum())
+
+        best, value = nelder_mead(objective, np.zeros(len(goal)),
+                                  max_iter=800)
+        assert value < 1e-3
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seeds=st.integers(min_value=0, max_value=1000),
+        n=st.integers(min_value=1, max_value=12),
+    )
+    def test_batch_nm_solves_random_quadratics(self, seeds, n):
+        rng = np.random.default_rng(seeds)
+        goals = rng.uniform(-3, 3, size=(n, 3))
+
+        def batch(points):
+            return ((points - goals) ** 2).sum(axis=1)
+
+        _best, values = batch_nelder_mead(batch, np.zeros((n, 3)),
+                                          max_iter=500)
+        assert values.max() < 1e-3

@@ -1,0 +1,474 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(3.5)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [3.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1, value="payload")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    stamps = []
+
+    def proc():
+        yield env.timeout(1)
+        stamps.append(env.now)
+        yield env.timeout(2)
+        stamps.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert stamps == [1, 3]
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1)
+        order.append(name)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.process(proc("c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1)
+        return 42
+
+    def outer(results):
+        value = yield env.process(inner())
+        results.append(value)
+
+    results = []
+    env.process(outer(results))
+    env.run()
+    assert results == [42]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2)
+        return "done"
+
+    value = env.run(until=env.process(proc()))
+    assert value == "done"
+    assert env.now == 2
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+
+    env.process(proc())
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_deadlock_detected_when_waiting_on_untriggered_event():
+    env = Environment()
+    blocker = env.event()
+
+    def proc():
+        yield blocker
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=env.process(proc()))
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener():
+        yield env.timeout(4)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert seen == [(4, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1)
+        gate.fail(RuntimeError("server down"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["server down"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def broken():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def waiter(caught):
+        try:
+            yield env.process(broken())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    caught = []
+    env.process(waiter(caught))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    proc = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run(until=proc)
+
+
+def test_all_of_waits_for_every_child():
+    env = Environment()
+    results = []
+
+    def proc():
+        values = yield env.all_of(
+            [env.timeout(3, value="c"), env.timeout(1, value="a")]
+        )
+        results.append((env.now, values))
+
+    env.process(proc())
+    env.run()
+    assert results == [(3, ["c", "a"])]
+
+
+def test_all_of_empty_list_triggers_immediately():
+    env = Environment()
+    results = []
+
+    def proc():
+        values = yield env.all_of([])
+        results.append((env.now, values))
+
+    env.process(proc())
+    env.run()
+    assert results == [(0, [])]
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+    results = []
+
+    def proc():
+        value = yield env.any_of(
+            [env.timeout(3, value="slow"), env.timeout(1, value="fast")]
+        )
+        results.append((env.now, value))
+
+    env.process(proc())
+    env.run()
+    assert results == [(1, "fast")]
+
+
+def test_all_of_failure_propagates():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield env.all_of([gate, env.timeout(5)])
+        except RuntimeError:
+            caught.append(env.now)
+
+    def failer():
+        yield env.timeout(2)
+        gate.fail(RuntimeError("dead"))
+
+    env.process(proc())
+    env.process(failer())
+    env.run()
+    assert caught == [2]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_step_on_empty_queue_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        r3 = res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.in_use == 2
+        assert res.queue_length == 1
+
+    def test_release_grants_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r3 = res.request()
+        res.release(r1)
+        assert r2.triggered and not r3.triggered
+        res.release(r2)
+        assert r3.triggered
+
+    def test_release_foreign_request_rejected(self):
+        env = Environment()
+        res_a = Resource(env)
+        res_b = Resource(env)
+        req = res_a.request()
+        with pytest.raises(SimulationError):
+            res_b.release(req)
+
+    def test_capacity_below_one_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_fifo_service_order_under_contention(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(name, service):
+            req = res.request()
+            yield req
+            yield env.timeout(service)
+            order.append((name, env.now))
+            res.release(req)
+
+        env.process(worker("first", 5))
+        env.process(worker("second", 1))
+        env.process(worker("third", 1))
+        env.run()
+        # Strict FIFO: second waits behind first despite being cheaper.
+        assert order == [("first", 5), ("second", 6), ("third", 7)]
+
+    def test_utilization_accounting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(4)
+            res.release(req)
+            yield env.timeout(6)
+
+        env.process(worker())
+        env.run()
+        assert env.now == 10
+        assert res.utilization(env.now) == pytest.approx(0.4)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def putter():
+            yield env.timeout(3)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [(3, "late")]
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_fifo_getter_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(getter("g1"))
+        env.process(getter("g2"))
+
+        def putter():
+            yield env.timeout(1)
+            store.put("first")
+            store.put("second")
+
+        env.process(putter())
+        env.run()
+        assert got == [("g1", "first"), ("g2", "second")]
+
+    def test_len_reports_buffered_items(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+def test_determinism_same_program_same_trace():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(name, delays):
+            for delay in delays:
+                yield env.timeout(delay)
+                trace.append((name, env.now))
+
+        env.process(worker("a", [1, 2, 3]))
+        env.process(worker("b", [2, 2, 2]))
+        env.process(worker("c", [3, 1, 1]))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

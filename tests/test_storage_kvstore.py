@@ -1,0 +1,102 @@
+"""Log-structured KV store tests, including cleaner behaviour."""
+
+import pytest
+
+from repro.storage import KVStoreError, LogStructuredStore
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        store = LogStructuredStore()
+        store.put(1, b"hello")
+        assert store.get(1) == b"hello"
+
+    def test_get_missing_raises(self):
+        store = LogStructuredStore()
+        with pytest.raises(KeyError):
+            store.get(99)
+
+    def test_contains_and_len(self):
+        store = LogStructuredStore()
+        store.put(1, b"a")
+        store.put(2, b"b")
+        assert 1 in store and 2 in store and 3 not in store
+        assert len(store) == 2
+
+    def test_overwrite_returns_latest(self):
+        store = LogStructuredStore()
+        store.put(1, b"old")
+        store.put(1, b"new")
+        assert store.get(1) == b"new"
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = LogStructuredStore()
+        store.put(1, b"x")
+        store.delete(1)
+        assert 1 not in store
+        with pytest.raises(KeyError):
+            store.delete(1)
+
+    def test_multiget_skips_missing(self):
+        store = LogStructuredStore()
+        store.put(1, b"a")
+        store.put(3, b"c")
+        assert store.multiget([1, 2, 3]) == {1: b"a", 3: b"c"}
+
+    def test_non_bytes_value_rejected(self):
+        store = LogStructuredStore()
+        with pytest.raises(KVStoreError):
+            store.put(1, "not bytes")
+
+
+class TestLogStructure:
+    def test_segments_roll_over(self):
+        store = LogStructuredStore(segment_bytes=100)
+        for key in range(10):
+            store.put(key, b"x" * 40)
+        assert store.num_segments > 1
+
+    def test_value_larger_than_segment_still_stored(self):
+        store = LogStructuredStore(segment_bytes=10)
+        store.put(1, b"y" * 100)
+        assert store.get(1) == b"y" * 100
+
+    def test_live_bytes_tracks_overwrites(self):
+        store = LogStructuredStore(segment_bytes=1 << 16)
+        store.put(1, b"a" * 100)
+        assert store.live_bytes() == 100
+        store.put(1, b"b" * 50)
+        assert store.live_bytes() == 50
+
+    def test_utilization_degrades_then_cleaner_runs(self):
+        store = LogStructuredStore(segment_bytes=1 << 10, clean_threshold=0.5)
+        for _ in range(20):
+            store.put(1, b"z" * 200)  # same key: churn creates dead bytes
+        assert store.cleanings >= 1
+        # After cleaning, utilization is back above the threshold.
+        assert store.utilization() >= 0.5
+        assert store.get(1) == b"z" * 200
+
+    def test_cleaner_preserves_all_live_data(self):
+        store = LogStructuredStore(segment_bytes=256, clean_threshold=0.6)
+        expected = {}
+        for key in range(50):
+            value = bytes([key % 251]) * (key % 37 + 1)
+            store.put(key, value)
+            expected[key] = value
+        for key in range(0, 50, 2):  # churn half the keys
+            value = b"updated" + bytes([key % 251])
+            store.put(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert store.get(key) == value
+
+    def test_empty_store_utilization_is_one(self):
+        assert LogStructuredStore().utilization() == 1.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(KVStoreError):
+            LogStructuredStore(segment_bytes=0)
+        with pytest.raises(KVStoreError):
+            LogStructuredStore(clean_threshold=1.5)

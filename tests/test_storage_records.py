@@ -1,0 +1,92 @@
+"""Adjacency-record codec tests."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.storage import AdjacencyRecord, graph_to_records, record_for_node
+
+
+@pytest.fixture
+def knowledge_graph():
+    """The paper's Figure 3 example graph (Jerry Yang / Yahoo!)."""
+    g = Graph()
+    g.add_node(0, label="Jerry Yang")
+    g.add_node(1, label="Yahoo!")
+    g.add_node(2, label="Stanford")
+    g.add_node(3, label="Sunnyvale")
+    g.add_node(4, label="California")
+    g.add_edge(0, 1, label="founded")
+    g.add_edge(0, 2, label="education")
+    g.add_edge(0, 3, label="places lived")
+    g.add_edge(1, 3, label="headquarters in")
+    g.add_edge(3, 4, label="part of")
+    return g
+
+
+class TestRecordViews:
+    def test_out_and_in_neighbors(self, knowledge_graph):
+        record = record_for_node(knowledge_graph, 3)
+        assert sorted(record.out_neighbors()) == [4]
+        assert sorted(record.in_neighbors()) == [0, 1]
+
+    def test_bidirected_neighbors_deduplicated(self):
+        record = AdjacencyRecord(0, out_edges=[(1, None)], in_edges=[(1, None), (2, None)])
+        assert record.neighbors() == [1, 2]
+
+    def test_degree_counts_both_directions(self, knowledge_graph):
+        record = record_for_node(knowledge_graph, 3)
+        assert record.degree == 3
+
+
+class TestCodec:
+    def test_round_trip_plain(self):
+        record = AdjacencyRecord(7, out_edges=[(1, None), (2, None)], in_edges=[(3, None)])
+        decoded = AdjacencyRecord.decode(record.encode())
+        assert decoded == record
+
+    def test_round_trip_with_labels(self, knowledge_graph):
+        record = record_for_node(knowledge_graph, 0)
+        decoded = AdjacencyRecord.decode(record.encode())
+        assert decoded == record
+        assert decoded.node_label == "Jerry Yang"
+        labels = dict(decoded.out_edges)
+        assert labels[1] == "founded"
+
+    def test_round_trip_unicode_labels(self):
+        record = AdjacencyRecord(1, out_edges=[(2, "相互リンク")], node_label="ノード")
+        assert AdjacencyRecord.decode(record.encode()) == record
+
+    def test_round_trip_empty(self):
+        record = AdjacencyRecord(42)
+        decoded = AdjacencyRecord.decode(record.encode())
+        assert decoded == record
+        assert decoded.degree == 0
+
+    def test_size_bytes_matches_encoding(self, knowledge_graph):
+        for node in knowledge_graph.nodes():
+            record = record_for_node(knowledge_graph, node)
+            assert record.size_bytes() == len(record.encode())
+
+    def test_size_grows_with_degree(self):
+        small = AdjacencyRecord(0, out_edges=[(1, None)])
+        large = AdjacencyRecord(0, out_edges=[(i, None) for i in range(100)])
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_negative_node_ids(self):
+        record = AdjacencyRecord(-5, out_edges=[(-1, None)])
+        assert AdjacencyRecord.decode(record.encode()) == record
+
+
+class TestGraphToRecords:
+    def test_one_record_per_node(self, knowledge_graph):
+        records = list(graph_to_records(knowledge_graph))
+        assert len(records) == knowledge_graph.num_nodes
+        assert {r.node_id for r in records} == set(knowledge_graph.nodes())
+
+    def test_every_edge_appears_twice(self, knowledge_graph):
+        # Each directed edge appears once as out-edge, once as in-edge.
+        records = {r.node_id: r for r in graph_to_records(knowledge_graph)}
+        out_total = sum(len(r.out_edges) for r in records.values())
+        in_total = sum(len(r.in_edges) for r in records.values())
+        assert out_total == knowledge_graph.num_edges
+        assert in_total == knowledge_graph.num_edges

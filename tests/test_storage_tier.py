@@ -1,0 +1,181 @@
+"""Storage server and tier tests on the simulation kernel."""
+
+import pytest
+
+from repro.costs import StorageServiceModel
+from repro.graph import erdos_renyi, ring_of_cliques
+from repro.sim import Environment
+from repro.storage import (
+    StorageServer,
+    StorageServerDown,
+    StorageTier,
+    modulo_partitioner,
+)
+from repro.storage.records import record_for_node
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def loaded_tier(env):
+    tier = StorageTier(env, num_servers=3, partitioner=modulo_partitioner)
+    graph = ring_of_cliques(4, 5)
+    tier.load_graph(graph)
+    return tier, graph
+
+
+class TestStorageServer:
+    def test_multiget_returns_values_and_takes_time(self, env):
+        model = StorageServiceModel(per_request=1e-6, per_key=1e-6, per_byte=0)
+        server = StorageServer(env, 0, model)
+        server.load(1, b"abc")
+        server.load(2, b"de")
+
+        proc = env.process(server.multiget_process([1, 2]))
+        values = env.run(until=proc)
+        assert values == {1: b"abc", 2: b"de"}
+        assert env.now == pytest.approx(3e-6)  # 1 request + 2 keys
+
+    def test_requests_queue_fifo(self, env):
+        model = StorageServiceModel(per_request=10e-6, per_key=0, per_byte=0)
+        server = StorageServer(env, 0, model)
+        server.load(1, b"x")
+        finish_times = []
+
+        def client(name):
+            yield env.process(server.multiget_process([1]))
+            finish_times.append((name, env.now))
+
+        env.process(client("a"))
+        env.process(client("b"))
+        env.run()
+        assert finish_times == [
+            ("a", pytest.approx(10e-6)),
+            ("b", pytest.approx(20e-6)),
+        ]
+
+    def test_pipeline_width_allows_parallel_service(self, env):
+        model = StorageServiceModel(per_request=10e-6, per_key=0, per_byte=0)
+        server = StorageServer(env, 0, model, pipeline_width=2)
+        server.load(1, b"x")
+
+        def client():
+            yield env.process(server.multiget_process([1]))
+
+        env.process(client())
+        env.process(client())
+        env.run()
+        assert env.now == pytest.approx(10e-6)  # both served concurrently
+
+    def test_failed_server_raises(self, env):
+        server = StorageServer(env, 0, StorageServiceModel())
+        server.load(1, b"x")
+        server.fail()
+
+        def client(caught):
+            try:
+                yield env.process(server.multiget_process([1]))
+            except StorageServerDown:
+                caught.append(True)
+
+        caught = []
+        env.process(client(caught))
+        env.run()
+        assert caught == [True]
+
+    def test_recovered_server_serves_again(self, env):
+        server = StorageServer(env, 0, StorageServiceModel())
+        server.load(1, b"x")
+        server.fail()
+        server.recover()
+        proc = env.process(server.multiget_process([1]))
+        assert env.run(until=proc) == {1: b"x"}
+
+    def test_put_process_stores_value(self, env):
+        server = StorageServer(env, 0, StorageServiceModel())
+        proc = env.process(server.put_process(5, b"val"))
+        env.run(until=proc)
+        assert server.store.get(5) == b"val"
+
+    def test_counters(self, env):
+        server = StorageServer(env, 0, StorageServiceModel())
+        server.load(1, b"abc")
+        proc = env.process(server.multiget_process([1]))
+        env.run(until=proc)
+        assert server.requests_served == 1
+        assert server.keys_served == 1
+        assert server.bytes_served == 3
+
+
+class TestStorageTier:
+    def test_rejects_zero_servers(self, env):
+        with pytest.raises(ValueError):
+            StorageTier(env, num_servers=0)
+
+    def test_modulo_partitioner_places_predictably(self, loaded_tier):
+        tier, _graph = loaded_tier
+        assert tier.locate(0) is tier.servers[0]
+        assert tier.locate(4) is tier.servers[1]
+        assert tier.locate(5) is tier.servers[2]
+
+    def test_load_graph_places_every_node(self, loaded_tier):
+        tier, graph = loaded_tier
+        assert sum(tier.load_distribution()) == graph.num_nodes
+
+    def test_murmur_partitioning_is_balanced(self, env):
+        tier = StorageTier(env, num_servers=4)
+        graph = erdos_renyi(2000, 4000, seed=1)
+        tier.load_graph(graph)
+        counts = tier.load_distribution()
+        assert min(counts) > 0.8 * (2000 / 4)
+
+    def test_fetch_decodes_records(self, env, loaded_tier):
+        tier, graph = loaded_tier
+        proc = env.process(tier.fetch_process([0, 1, 7]))
+        records = env.run(until=proc)
+        assert set(records) == {0, 1, 7}
+        for node, record in records.items():
+            expected = record_for_node(graph, node)
+            assert record == expected
+
+    def test_fetch_missing_keys_skipped(self, env, loaded_tier):
+        tier, _graph = loaded_tier
+        proc = env.process(tier.fetch_process([0, 99999]))
+        records = env.run(until=proc)
+        assert set(records) == {0}
+
+    def test_fetch_hits_servers_in_parallel(self, env):
+        # Two keys on two servers: elapsed time equals one service time,
+        # not two, because multigets are issued concurrently.
+        model = StorageServiceModel(per_request=10e-6, per_key=0, per_byte=0)
+        tier = StorageTier(
+            env, num_servers=2, service_model=model, partitioner=modulo_partitioner
+        )
+        from repro.storage import AdjacencyRecord
+
+        tier.servers[0].load(0, AdjacencyRecord(0).encode())
+        tier.servers[1].load(1, AdjacencyRecord(1).encode())
+        proc = env.process(tier.fetch_process([0, 1]))
+        env.run(until=proc)
+        assert env.now == pytest.approx(10e-6)
+
+    def test_partition_plan_groups_by_server(self, loaded_tier):
+        tier, _graph = loaded_tier
+        plan = tier.partition_plan([0, 3, 4, 6])
+        assert plan == {0: [0, 3, 6], 1: [4]}
+
+    def test_store_record_upserts(self, env, loaded_tier):
+        tier, graph = loaded_tier
+        record = record_for_node(graph, 0)
+        record.out_edges.append((99, None))
+        tier.store_record(record)
+        proc = env.process(tier.fetch_process([0]))
+        fetched = env.run(until=proc)
+        assert 99 in fetched[0].out_neighbors()
+
+    def test_total_live_bytes_positive_after_load(self, loaded_tier):
+        tier, _graph = loaded_tier
+        assert tier.total_live_bytes() > 0

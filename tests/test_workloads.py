@@ -1,0 +1,118 @@
+"""Tests for the workload generators (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NeighborAggregationQuery,
+    RandomWalkQuery,
+    ReachabilityQuery,
+)
+from repro.graph import CSRGraph, Graph, bfs_distances, ring_of_cliques
+from repro.workloads import hotspot_workload, uniform_workload, zipfian_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(10, 8)
+
+
+class TestHotspotWorkload:
+    def test_count_and_grouping(self, graph):
+        queries = hotspot_workload(graph, num_hotspots=5,
+                                   queries_per_hotspot=10, seed=1)
+        assert len(queries) == 50
+
+    def test_uniform_mix_of_query_types(self, graph):
+        queries = hotspot_workload(graph, num_hotspots=6,
+                                   queries_per_hotspot=9, seed=1)
+        kinds = {
+            NeighborAggregationQuery: 0,
+            RandomWalkQuery: 0,
+            ReachabilityQuery: 0,
+        }
+        for query in queries:
+            kinds[type(query)] += 1
+        assert set(kinds.values()) == {18}  # 54 queries / 3 kinds
+
+    def test_hotspot_queries_are_local(self, graph):
+        # Any two query nodes of one hotspot lie within 2r hops (§4.1).
+        radius = 2
+        queries = hotspot_workload(graph, num_hotspots=8,
+                                   queries_per_hotspot=5, radius=radius,
+                                   seed=3)
+        for h in range(8):
+            group = [q.node for q in queries[h * 5:(h + 1) * 5]]
+            anchor = group[0]
+            dist = bfs_distances(graph, anchor, max_hops=2 * radius)
+            for node in group[1:]:
+                assert node in dist
+
+    def test_reachability_targets_in_same_hotspot(self, graph):
+        radius = 1
+        queries = hotspot_workload(graph, num_hotspots=10,
+                                   queries_per_hotspot=3, radius=radius,
+                                   seed=5)
+        for query in queries:
+            if isinstance(query, ReachabilityQuery):
+                dist = bfs_distances(graph, query.node, max_hops=4 * radius)
+                assert query.target in dist
+
+    def test_deterministic(self, graph):
+        a = hotspot_workload(graph, 4, 4, seed=9)
+        b = hotspot_workload(graph, 4, 4, seed=9)
+        assert [(type(q), q.node) for q in a] == [(type(q), q.node) for q in b]
+
+    def test_respects_prebuilt_csr(self, graph):
+        csr = CSRGraph.from_graph(graph, direction="both")
+        queries = hotspot_workload(graph, 3, 3, seed=2, csr=csr)
+        assert len(queries) == 9
+
+    def test_custom_mix(self, graph):
+        queries = hotspot_workload(graph, 2, 4, mix=("walk",), seed=1)
+        assert all(isinstance(q, RandomWalkQuery) for q in queries)
+
+    def test_invalid_parameters(self, graph):
+        with pytest.raises(ValueError):
+            hotspot_workload(graph, 0, 5)
+        with pytest.raises(ValueError):
+            hotspot_workload(graph, 5, 5, radius=-1)
+        with pytest.raises(ValueError):
+            hotspot_workload(graph, 5, 5, mix=())
+        with pytest.raises(ValueError):
+            hotspot_workload(graph, 5, 5, mix=("teleport",))
+
+    def test_graph_without_edges_rejected(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(ValueError):
+            hotspot_workload(g, 1, 1)
+
+
+class TestUniformWorkload:
+    def test_count(self, graph):
+        assert len(uniform_workload(graph, num_queries=33, seed=1)) == 33
+
+    def test_spreads_over_graph(self, graph):
+        queries = uniform_workload(graph, num_queries=200, seed=1)
+        # Uniform sampling should touch most cliques.
+        cliques = {q.node // 8 for q in queries}
+        assert len(cliques) >= 8
+
+    def test_invalid_count(self, graph):
+        with pytest.raises(ValueError):
+            uniform_workload(graph, num_queries=0)
+
+
+class TestZipfianWorkload:
+    def test_repeats_hot_nodes(self, graph):
+        queries = zipfian_workload(graph, num_queries=300, skew=1.5, seed=1)
+        counts = {}
+        for query in queries:
+            counts[query.node] = counts.get(query.node, 0) + 1
+        top = max(counts.values())
+        assert top > 20  # the hottest node dominates
+
+    def test_invalid_skew(self, graph):
+        with pytest.raises(ValueError):
+            zipfian_workload(graph, skew=1.0)
