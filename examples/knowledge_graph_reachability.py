@@ -14,13 +14,11 @@ Two parts:
 Run:  python examples/knowledge_graph_reachability.py
 """
 
-import numpy as np
 
 from repro import ClusterConfig, GRoutingCluster, GraphAssets
-from repro.core import ReachabilityQuery
 from repro.datasets import freebase_like
 from repro.graph import Graph, bidirectional_reachability
-from repro.storage import StorageTier, record_for_node
+from repro.storage import StorageTier
 from repro.sim import Environment
 from repro.workloads import hotspot_workload
 

@@ -43,7 +43,7 @@ from .costs import (
     NetworkModel,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",

@@ -34,6 +34,7 @@ from ..core.queries import (
     Query,
     RandomWalkQuery,
     ReachabilityQuery,
+    query_class,
 )
 from ..costs import ETHERNET, NetworkModel
 from .metis_like import multilevel_partition
@@ -183,6 +184,8 @@ class _CoupledBase:
                     started_at=now,
                     finished_at=now + elapsed,
                     stats=stats,
+                    routed_via=self.name,
+                    query_class=query_class(query),
                 )
             )
             now += elapsed

@@ -14,7 +14,7 @@ greedy heuristic places each edge using the current replica sets A(u), A(v):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 import numpy as np
 

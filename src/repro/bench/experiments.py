@@ -15,7 +15,6 @@ import numpy as np
 
 from ..baselines import PowerGraphSystem, SedgeSystem
 from ..core import ClusterConfig, GRoutingCluster, WorkloadReport
-from ..core.assets import GraphAssets
 from ..costs import DEFAULT_COSTS, ETHERNET_COSTS
 from ..datasets import dataset_info
 from ..embedding import GraphEmbedding, embed_landmarks

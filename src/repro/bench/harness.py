@@ -14,7 +14,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.assets import GraphAssets
 from ..core.queries import Query
@@ -116,19 +116,35 @@ def format_table(title: str, headers: Sequence[str],
     return "\n".join(lines)
 
 
+def write_json_atomic(path: Path, payload: object) -> None:
+    """Write ``payload`` as JSON via tmp-file + rename.
+
+    Parallel or interrupted benchmark jobs must never leave a half-written
+    artifact: the rename is atomic on POSIX, and the tmp name is unique per
+    process so concurrent writers can't collide on it either.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed; don't litter
+            tmp.unlink()
+
+
 def emit(title: str, headers: Sequence[str],
          rows: Sequence[Sequence[object]], name: str) -> str:
-    """Print a table and persist it as a JSON artifact."""
+    """Print a table and persist it as a JSON artifact (atomically)."""
     table = format_table(title, headers, rows)
     print("\n" + table)
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     payload = {
         "title": title,
         "headers": list(headers),
         "rows": [list(r) for r in rows],
         "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
     }
-    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    write_json_atomic(RESULTS_DIR / f"{name}.json", payload)
     return table
 
 

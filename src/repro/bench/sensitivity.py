@@ -14,9 +14,8 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..baselines import SedgeSystem, hash_partition
-from ..core import GRoutingCluster
 from ..embedding import GraphEmbedding
-from .experiments import SCHEMES, run_scheme, scheme_config
+from .experiments import SCHEMES, run_scheme
 from .harness import emit, get_context
 
 

@@ -6,21 +6,26 @@ from .cluster import ROUTING_CHOICES, ClusterConfig, GRoutingCluster, run_worklo
 from .metrics import QueryRecord, QueryStats, WorkloadReport
 from .processor import QueryProcessor
 from .queries import (
+    QUERY_CLASSES,
     NeighborAggregationQuery,
     Query,
     RandomWalkQuery,
     ReachabilityQuery,
+    query_class,
 )
 from .router import Router
 from .routing import (
+    AdaptiveRouting,
     EmbedRouting,
     HashRouting,
     LandmarkRouting,
     NextReadyRouting,
+    RoutingFeedback,
     RoutingStrategy,
 )
 
 __all__ = [
+    "AdaptiveRouting",
     "CacheStats",
     "ClusterConfig",
     "EmbedRouting",
@@ -31,6 +36,7 @@ __all__ = [
     "NeighborAggregationQuery",
     "NextReadyRouting",
     "ProcessorCache",
+    "QUERY_CLASSES",
     "Query",
     "QueryProcessor",
     "QueryRecord",
@@ -39,7 +45,9 @@ __all__ = [
     "RandomWalkQuery",
     "ReachabilityQuery",
     "Router",
+    "RoutingFeedback",
     "RoutingStrategy",
     "WorkloadReport",
+    "query_class",
     "run_workload",
 ]

@@ -12,7 +12,7 @@ One cluster instance corresponds to one experiment run: caches start cold
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..costs import DEFAULT_COSTS, CostModel
 from ..graph.digraph import Graph
@@ -24,6 +24,7 @@ from .processor import QueryProcessor
 from .queries import Query
 from .router import Router
 from .routing import (
+    AdaptiveRouting,
     EmbedRouting,
     HashRouting,
     LandmarkRouting,
@@ -31,7 +32,9 @@ from .routing import (
     RoutingStrategy,
 )
 
-ROUTING_CHOICES = ("next_ready", "hash", "landmark", "embed", "no_cache")
+ROUTING_CHOICES = (
+    "next_ready", "hash", "landmark", "embed", "no_cache", "adaptive",
+)
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,21 @@ class ClusterConfig:
     steal: bool = True
     seed: int = 0
     materialize_storage: bool = False  # actually load records into the KV log
+    # -- adaptive-routing knobs ----------------------------------------------
+    #: Static arms the adaptive strategy can pick per query class.
+    adaptive_arms: Tuple[str, ...] = ("hash", "landmark", "embed")
+    #: Base exploration rate of the per-class epsilon-greedy policy.
+    epsilon: float = 0.1
+    #: Per-class decay applied to epsilon as decisions accumulate.
+    epsilon_decay: float = 0.05
+    #: Queries per audition epoch (each arm owns all traffic for one epoch).
+    adaptive_epoch: int = 32
+    #: EWMA smoothing for the latency / hit-rate / queue-depth feedback.
+    feedback_alpha: float = 0.2
+    #: Queries routed per submission wave. None = auto: everything at once
+    #: for static strategies (decisions don't depend on feedback), small
+    #: waves for adaptive so routing feedback informs later decisions.
+    submit_batch: Optional[int] = None
 
     def with_routing(self, routing: str) -> "ClusterConfig":
         return replace(self, routing=routing)
@@ -113,19 +131,37 @@ class GRoutingCluster:
             processor.start(self.router)
         self._ran = False
 
-    def _build_strategy(self) -> RoutingStrategy:
+    def _build_strategy(self, routing: Optional[str] = None) -> RoutingStrategy:
         cfg = self.config
-        if cfg.routing in ("next_ready", "no_cache"):
+        routing = cfg.routing if routing is None else routing
+        if routing in ("next_ready", "no_cache"):
             return NextReadyRouting()
-        if cfg.routing == "hash":
+        if routing == "hash":
             return HashRouting(cfg.num_processors)
-        if cfg.routing == "landmark":
+        if routing == "landmark":
             index = self._landmark_index_override
             if index is None:
                 index = self.assets.landmark_index(
                     cfg.num_processors, cfg.num_landmarks, cfg.min_separation
                 )
             return LandmarkRouting(index, load_factor=cfg.load_factor)
+        if routing == "adaptive":
+            if not cfg.adaptive_arms:
+                raise ValueError("adaptive routing needs at least one arm")
+            for arm in cfg.adaptive_arms:
+                # "no_cache" is not a routing decision but a cluster mode
+                # (caches off), which the adaptive wrapper can't honour —
+                # allowing it would mislabel cached next-ready dispatch.
+                if arm in ("adaptive", "no_cache") or arm not in ROUTING_CHOICES:
+                    raise ValueError(f"invalid adaptive arm {arm!r}")
+            return AdaptiveRouting(
+                {arm: self._build_strategy(arm) for arm in cfg.adaptive_arms},
+                epoch=cfg.adaptive_epoch,
+                epsilon=cfg.epsilon,
+                epsilon_decay=cfg.epsilon_decay,
+                feedback_alpha=cfg.feedback_alpha,
+                seed=cfg.seed,
+            )
         # embed
         embedding = self._embedding_override
         if embedding is None:
@@ -143,9 +179,31 @@ class GRoutingCluster:
             seed=cfg.seed,
         )
 
+    #: Default wave size for adaptive routing (see ClusterConfig.submit_batch).
+    #: Deep enough that the Eq. 3/7 load term still sees real queue depths,
+    #: shallow enough that feedback reaches the strategy while it matters.
+    ADAPTIVE_BATCH = 128
+
+    def _batch_size(self, num_queries: int) -> int:
+        batch = self.config.submit_batch
+        if batch is None:
+            batch = (
+                self.ADAPTIVE_BATCH
+                if self.config.routing == "adaptive"
+                else num_queries
+            )
+        if batch < 1:
+            raise ValueError("submit_batch must be >= 1")
+        return batch
+
     # -- running a workload --------------------------------------------------
     def run(self, queries: Sequence[Query]) -> WorkloadReport:
-        """Execute ``queries`` (closed batch, all submitted at t=0)."""
+        """Execute ``queries``, submitted in waves of ``submit_batch``.
+
+        Static strategies take everything in one wave (the paper's closed
+        batch at t=0). Adaptive routing defaults to small waves so the
+        feedback from completed queries informs the next wave's decisions.
+        """
         if self._ran:
             raise RuntimeError(
                 "a cluster instance runs one workload; build a fresh one "
@@ -153,7 +211,18 @@ class GRoutingCluster:
             )
         self._ran = True
         if queries:
-            self.router.submit(list(queries))
+            queries = list(queries)
+            batch = self._batch_size(len(queries))
+            refill = max(1, batch // 2)
+            self.router.submit(queries[:batch])
+            position = batch
+            while position < len(queries):
+                # Pipelined refill: top the router up when the backlog
+                # drains below the watermark, so processors never idle at
+                # a wave boundary (no barrier, no stealing churn).
+                self.env.run(until=self.router.when_backlog_at_most(refill))
+                self.router.submit(queries[position : position + batch])
+                position += batch
             self.env.run(until=self.router.done)
         report = WorkloadReport(
             records=sorted(self.router.records, key=lambda r: r.query_id),

@@ -42,6 +42,11 @@ class QueryRecord:
     started_at: float
     finished_at: float
     stats: QueryStats
+    #: Which concrete scheme decided this query — the strategy name, or
+    #: ``"adaptive:<arm>"`` when the adaptive meta-strategy delegated.
+    routed_via: str = ""
+    #: Cost class of the query (see :func:`repro.core.queries.query_class`).
+    query_class: str = ""
 
     @property
     def response_time(self) -> float:
@@ -100,6 +105,36 @@ class WorkloadReport:
         hits = self.total_cache_hits()
         total = hits + self.total_cache_misses()
         return hits / total if total else 0.0
+
+    # -- per-class / per-arm stats -------------------------------------------
+    def per_class_stats(self) -> Dict[str, Dict[str, float]]:
+        """Response-time stats grouped by query class (point/walk/traversal)."""
+        groups: Dict[str, List[float]] = {}
+        for record in self.records:
+            groups.setdefault(record.query_class or "unknown", []).append(
+                record.response_time
+            )
+        stats: Dict[str, Dict[str, float]] = {}
+        for cls, times in sorted(groups.items()):
+            times.sort()
+            rank = min(
+                len(times) - 1,
+                max(0, int(round(0.95 * (len(times) - 1)))),
+            )
+            stats[cls] = {
+                "queries": len(times),
+                "mean_response_ms": sum(times) / len(times) * 1e3,
+                "p95_response_ms": times[rank] * 1e3,
+            }
+        return stats
+
+    def per_arm_counts(self) -> Dict[str, int]:
+        """How many queries each routing decision label handled."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            label = record.routed_via or self.routing
+            counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
 
     # -- load-balance metrics -----------------------------------------------
     def per_processor_counts(self) -> Dict[int, int]:

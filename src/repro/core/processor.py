@@ -8,7 +8,7 @@ how the router implements query stealing (§3.2, Requirement 2).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..costs import CostModel
 from ..sim import Environment, Store
@@ -16,7 +16,6 @@ from ..storage.tier import StorageTier
 from .assets import GraphAssets
 from .cache import ProcessorCache
 from .engine import execute_query
-from .queries import Query
 
 if TYPE_CHECKING:  # pragma: no cover
     from .router import Router
@@ -82,6 +81,10 @@ class QueryProcessor:
             self.queries_executed += 1
             self.busy_time += finished - started
             router.on_ack(self.processor_id, query, stats, started, finished)
+
+    def cache_hit_rate(self) -> float:
+        """Cumulative cache hit rate — the warmth signal in RoutingFeedback."""
+        return self.cache.stats.hit_rate()
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:

@@ -51,3 +51,26 @@ class ReachabilityQuery(Query):
 
     target: int = 0
     hops: int = 2
+
+
+#: The query-class "traffic light" tiers used by adaptive routing and the
+#: per-class metrics: cheap single-record probes, step-bounded walks, and
+#: frontier-expanding traversals.
+QUERY_CLASSES = ("point", "walk", "traversal")
+
+
+def query_class(query: Query) -> str:
+    """Coarse cost class of a query, derived from its type and depth.
+
+    * ``point`` — touches O(degree) records at most: 0/1-hop aggregations.
+    * ``walk`` — one record per step, locality limited to the walk path.
+    * ``traversal`` — frontier expansion over h hops (multi-hop
+      aggregations and reachability probes), the cache-hungry class.
+    """
+    if isinstance(query, RandomWalkQuery):
+        return "walk"
+    if isinstance(query, NeighborAggregationQuery):
+        return "point" if query.hops <= 1 else "traversal"
+    if isinstance(query, ReachabilityQuery):
+        return "traversal"
+    return "point"

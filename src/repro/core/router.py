@@ -17,8 +17,8 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..sim import Environment, Event
 from .metrics import QueryRecord, QueryStats
 from .processor import QueryProcessor
-from .queries import Query
-from .routing.base import RoutingStrategy
+from .queries import Query, query_class
+from .routing.base import RoutingFeedback, RoutingStrategy
 
 
 @dataclass
@@ -26,6 +26,7 @@ class _PendingInfo:
     intended: Optional[int]
     decision_time: float
     enqueued_at: float
+    routed_via: str
 
 
 class Router:
@@ -53,6 +54,7 @@ class Router:
         self._pending: Dict[int, _PendingInfo] = {}
         self._submitted = 0
         self._completed = 0
+        self._backlog_waits: List[Tuple[int, Event]] = []
 
     # -- submission ---------------------------------------------------------
     @property
@@ -66,8 +68,32 @@ class Router:
             for queue, busy in zip(self.queues, self.outstanding)
         ]
 
+    def backlog(self) -> int:
+        """Submitted-but-incomplete queries across the cluster."""
+        return self._submitted - self._completed
+
+    def when_backlog_at_most(self, threshold: int) -> Event:
+        """Event triggered once the backlog drains to ``threshold``.
+
+        Drives pipelined (wave-based) submission: the caller refills the
+        router when the outstanding work drops below a watermark, instead
+        of waiting for a full barrier.
+        """
+        event = self.env.event()
+        if self.backlog() <= threshold:
+            event.succeed(self.backlog())
+        else:
+            self._backlog_waits.append((threshold, event))
+        return event
+
     def submit(self, queries: Sequence[Query]) -> None:
-        """Route a batch of queries and kick every idle processor."""
+        """Route a batch of queries and kick every idle processor.
+
+        May be called repeatedly (wave-based submission): the ``done`` event
+        is re-armed whenever new work arrives after a completed batch.
+        """
+        if self.done.triggered:
+            self.done = self.env.event()
         for query in queries:
             self._submitted += 1
             target = self.strategy.choose(query, self.loads())
@@ -75,6 +101,7 @@ class Router:
                 intended=target,
                 decision_time=self.strategy.decision_time(self.num_processors),
                 enqueued_at=self.env.now,
+                routed_via=self.strategy.decision_label(query),
             )
             if target is None:
                 self.pool.append(query)
@@ -135,22 +162,45 @@ class Router:
         _, stolen = entry
         self.outstanding[processor_id] = None
         info = self._pending.pop(query.query_id)
-        self.records.append(
-            QueryRecord(
-                query_id=query.query_id,
-                kind=type(query).__name__,
-                node=query.node,
-                intended_processor=info.intended,
+        record = QueryRecord(
+            query_id=query.query_id,
+            kind=type(query).__name__,
+            node=query.node,
+            intended_processor=info.intended,
+            processor=processor_id,
+            stolen=stolen,
+            decision_time=info.decision_time,
+            enqueued_at=info.enqueued_at,
+            started_at=started,
+            finished_at=finished,
+            stats=stats,
+            routed_via=info.routed_via,
+            query_class=query_class(query),
+        )
+        self.records.append(record)
+        self.strategy.on_feedback(
+            RoutingFeedback(
+                query=query,
                 processor=processor_id,
+                response_time=record.response_time,
+                sojourn_time=record.sojourn_time,
                 stolen=stolen,
-                decision_time=info.decision_time,
-                enqueued_at=info.enqueued_at,
-                started_at=started,
-                finished_at=finished,
-                stats=stats,
+                cache_hits=stats.cache_hits,
+                cache_misses=stats.cache_misses,
+                processor_hit_rate=self.processors[processor_id].cache_hit_rate(),
+                loads=tuple(self.loads()),
             )
         )
         self._completed += 1
+        if self._backlog_waits:
+            backlog = self.backlog()
+            matured = [e for t, e in self._backlog_waits if backlog <= t]
+            if matured:
+                self._backlog_waits = [
+                    (t, e) for t, e in self._backlog_waits if backlog > t
+                ]
+                for event in matured:
+                    event.succeed(backlog)
         if self._completed == self._submitted and not self.done.triggered:
             self.done.succeed(self._completed)
             return

@@ -1,15 +1,20 @@
-"""Routing strategies: two baselines (§3.3) and two smart schemes (§3.4)."""
+"""Routing strategies: two baselines (§3.3), two smart schemes (§3.4), and
+the adaptive meta-strategy that switches between them online."""
 
-from .base import RoutingStrategy
+from .adaptive import DEFAULT_PRIORS, AdaptiveRouting
+from .base import RoutingFeedback, RoutingStrategy
 from .embed import EmbedRouting
 from .hashing import HashRouting
 from .landmark import LandmarkRouting
 from .next_ready import NextReadyRouting
 
 __all__ = [
+    "AdaptiveRouting",
+    "DEFAULT_PRIORS",
     "EmbedRouting",
     "HashRouting",
     "LandmarkRouting",
     "NextReadyRouting",
+    "RoutingFeedback",
     "RoutingStrategy",
 ]

@@ -1,4 +1,4 @@
-"""Routing strategy interface (§3).
+"""Routing strategy interface (§3) and the routing feedback channel.
 
 A strategy inspects a query and the router's per-processor load estimates
 (queue length + outstanding query) and either names a target processor or
@@ -7,12 +7,18 @@ next-ready dispatch). Smart strategies combine their distance signal with
 the load via the paper's load-balanced distance (Eq. 3 / Eq. 7):
 
     d_LB(u, p) = d(u, p) + load(p) / load_factor
+
+On every acknowledgement the router also pushes a :class:`RoutingFeedback`
+back into the strategy — measured response time, the executing processor's
+cache behaviour, and the queue depths at completion. Static strategies
+ignore it; adaptive strategies use it to re-rank their choices online.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from ..queries import Query
 
@@ -20,6 +26,32 @@ from ..queries import Query
 BASE_DECISION_TIME = 0.2e-6
 #: Incremental cost per processor-distance entry scanned (O(P) or O(PD)).
 PER_ENTRY_DECISION_TIME = 0.01e-6
+
+
+@dataclass(frozen=True)
+class RoutingFeedback:
+    """One completed query's outcome, reported back to the strategy.
+
+    Carries everything already flowing through the router's ack path:
+    measured latency, the executing processor's per-query and cumulative
+    cache behaviour, and the cluster-wide queue depths at completion time.
+    """
+
+    query: Query
+    processor: int
+    #: Processing time plus routing decision time (the §4.1 response time).
+    response_time: float
+    #: Arrival-to-completion time, including queueing delay.
+    sojourn_time: float
+    #: Whether an idle processor stole this query from another's queue.
+    stolen: bool
+    #: Result-set cache hits / misses for this query (Eq. 8/9).
+    cache_hits: int
+    cache_misses: int
+    #: The executing processor's *cumulative* cache hit rate so far.
+    processor_hit_rate: float
+    #: Per-processor queue depths (queued + in-flight) at completion.
+    loads: Tuple[int, ...]
 
 
 class RoutingStrategy(ABC):
@@ -37,6 +69,18 @@ class RoutingStrategy(ABC):
 
     def on_dispatch(self, query: Query, processor: int) -> None:
         """Hook invoked when the routing decision is recorded (EMA updates)."""
+
+    def on_feedback(self, feedback: RoutingFeedback) -> None:
+        """Hook invoked when a routed query completes (adaptive updates)."""
+
+    def decision_label(self, query: Query) -> str:
+        """Which concrete scheme decided this query (for per-arm metrics).
+
+        Composite strategies override this to name the sub-strategy that
+        actually routed ``query``; the router records it per query right
+        after :meth:`choose`.
+        """
+        return self.name
 
     def decision_time(self, num_processors: int) -> float:
         """Simulated router time to make one decision."""

@@ -8,7 +8,7 @@ target metric for the embedding.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

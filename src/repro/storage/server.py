@@ -8,7 +8,7 @@ naturally from queueing rather than being assumed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Iterable
 
 from ..costs import StorageServiceModel
 from ..sim import Environment, Resource

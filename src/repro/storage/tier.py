@@ -7,7 +7,7 @@ because smart routing at the processing tier is what recovers locality.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..costs import StorageServiceModel
 from ..graph.digraph import Graph

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import ClusterConfig, ETHERNET_COSTS, GRoutingCluster, GraphAssets
-from repro.baselines import CoupledCosts, PowerGraphSystem, SedgeSystem
+from repro.baselines import PowerGraphSystem, SedgeSystem
 from repro.core import NeighborAggregationQuery
 from repro.datasets import memetracker_like
 from repro.graph import k_hop_neighborhood

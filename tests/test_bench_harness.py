@@ -2,15 +2,8 @@
 
 import json
 
-import pytest
 
-from repro.bench.harness import (
-    ExperimentContext,
-    Timer,
-    bench_scale,
-    format_table,
-    get_context,
-)
+from repro.bench.harness import Timer, bench_scale, format_table, get_context
 
 
 class TestFormatTable:

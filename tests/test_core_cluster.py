@@ -9,7 +9,7 @@ from repro import (
     GraphAssets,
     run_workload,
 )
-from repro.core import NeighborAggregationQuery, ROUTING_CHOICES
+from repro.core import ROUTING_CHOICES
 from repro.datasets import memetracker_like
 from repro.workloads import hotspot_workload
 

@@ -122,6 +122,106 @@ class TestLoadTracking:
             cluster.router.submit(_queries([97]))
 
 
+class TestEdgeCases:
+    def test_single_processor_with_steal_enabled(self, graph, assets):
+        # Stealing with no victims: max() over an empty candidate set must
+        # not blow up, and nothing can ever be marked stolen.
+        cluster = _cluster(graph, assets, processors=1, steal=True)
+        report = cluster.run(_queries(range(15)))
+        assert len(report.records) == 15
+        assert report.stolen_count() == 0
+        assert {r.processor for r in report.records} == {0}
+
+    def test_steal_disabled_empty_pool_idles_processor(self, graph, assets):
+        # All queries target processor 0; with stealing off and an empty
+        # pool, processor 1 must execute nothing at all.
+        cluster = _cluster(graph, assets, routing="hash", processors=2,
+                           steal=False)
+        nodes = [n for n in range(0, 30, 2) if graph.has_node(n)]  # all even
+        report = cluster.run(_queries(nodes))
+        assert {r.processor for r in report.records} == {0}
+        assert cluster.processors[1].queries_executed == 0
+
+    def test_steal_from_pool_when_own_queue_empty(self, graph, assets):
+        # next_ready keeps everything in the shared pool: every processor
+        # pulls from it without any record being marked stolen.
+        cluster = _cluster(graph, assets, routing="next_ready", processors=3)
+        report = cluster.run(_queries(range(12)))
+        assert report.stolen_count() == 0
+        assert len({r.processor for r in report.records}) > 1
+
+    def test_backlog_tracks_incomplete_queries(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        router = cluster.router
+        assert router.backlog() == 0
+        router.submit(_queries(range(6)))
+        assert router.backlog() == 6
+        cluster.env.run(until=router.done)
+        assert router.backlog() == 0
+
+    def test_when_backlog_at_most_already_satisfied(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        event = cluster.router.when_backlog_at_most(5)
+        assert event.triggered
+
+    def test_when_backlog_at_most_fires_on_drain(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        router = cluster.router
+        router.submit(_queries(range(8)))
+        event = router.when_backlog_at_most(3)
+        assert not event.triggered
+        cluster.env.run(until=event)
+        assert router.backlog() <= 3
+        cluster.env.run(until=router.done)
+
+    def test_repeated_submission_rearms_done(self, graph, assets):
+        # Wave-based submission: done fires per drained wave and re-arms.
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        router = cluster.router
+        router.submit(_queries(range(4)))
+        cluster.env.run(until=router.done)
+        assert len(router.records) == 4
+        router.submit(_queries(range(10, 14)))
+        cluster.env.run(until=router.done)
+        assert len(router.records) == 8
+
+    def test_submit_batch_waves_complete_all_queries(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=3,
+                           submit_batch=4)
+        report = cluster.run(_queries(range(19)))
+        assert len(report.records) == 19
+        assert len({r.query_id for r in report.records}) == 19
+
+    def test_invalid_submit_batch_rejected(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2,
+                           submit_batch=0)
+        with pytest.raises(ValueError):
+            cluster.run(_queries(range(3)))
+
+
+class TestRoutingFeedback:
+    def test_feedback_delivered_per_ack(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        received = []
+        cluster.strategy.on_feedback = received.append
+        cluster.run(_queries(range(9)))
+        assert len(received) == 9
+        for fb in received:
+            assert fb.response_time > 0
+            # Sojourn (arrival to completion) covers at least the
+            # processing span; response additionally counts decision time.
+            assert fb.sojourn_time > 0
+            assert len(fb.loads) == 2
+            assert 0.0 <= fb.processor_hit_rate <= 1.0
+
+    def test_records_carry_routing_labels(self, graph, assets):
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        report = cluster.run(_queries(range(6)))
+        assert all(r.routed_via == "hash" for r in report.records)
+        assert all(r.query_class == "traversal" for r in report.records)
+        assert report.per_arm_counts() == {"hash": 6}
+
+
 class TestFaultDrain:
     def test_removed_processor_work_is_redistributed(self, graph, assets):
         cluster = _cluster(graph, assets, routing="hash", processors=3,

@@ -8,9 +8,6 @@ from repro.costs import (
     ETHERNET,
     ETHERNET_COSTS,
     INFINIBAND,
-    CacheCostModel,
-    ComputeModel,
-    CostModel,
     NetworkModel,
     StorageServiceModel,
 )

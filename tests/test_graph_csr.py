@@ -1,6 +1,5 @@
 """Tests for the CSR view: cross-checked against pure-Python traversal."""
 
-import numpy as np
 import pytest
 
 from repro.graph import (

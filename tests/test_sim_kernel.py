@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    Environment,
-    Event,
-    Resource,
-    SimulationError,
-    Store,
-)
+from repro.sim import Environment, Resource, SimulationError, Store
 
 
 def test_clock_starts_at_zero():

@@ -1,6 +1,5 @@
 """Tests for the workload generators (§4.1)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
