@@ -15,7 +15,7 @@ Run:  python examples/knowledge_graph_reachability.py
 """
 
 
-from repro import ClusterConfig, GRoutingCluster, GraphAssets
+from repro import ClusterConfig, GraphAssets, GraphService
 from repro.datasets import freebase_like
 from repro.graph import Graph, bidirectional_reachability
 from repro.storage import StorageTier
@@ -75,28 +75,31 @@ def demo_fault_tolerance() -> None:
         routing="landmark", num_processors=4, num_storage_servers=2,
         cache_capacity_bytes=4 << 20, num_landmarks=32, min_separation=2,
     )
-    cluster = GRoutingCluster(graph, config, assets=assets)
-    router = cluster.router
-    router.submit(queries)
+    service = GraphService.open(graph, config, assets=assets)
+    session = service.session()
+    session.submit_many(queries)
 
     # Let a third of the workload finish, then lose processor 0.
     target = len(queries) // 3
+    router = service.router
 
     def failure_injector():
-        while len(router.records) < target:
-            yield cluster.env.timeout(1e-4)
+        while session.completed < target:
+            yield service.env.timeout(1e-4)
         moved = router.remove_processor(0)
-        print(f"  processor 0 removed after {len(router.records)} queries; "
+        print(f"  processor 0 removed after {session.completed} queries; "
               f"{moved} queued queries redistributed")
 
-    cluster.env.process(failure_injector())
-    cluster.env.run(until=router.done)
+    service.env.process(failure_injector())
+    session.drain()
+    report = session.report()
+    service.close()
 
     done_by = {p: 0 for p in range(4)}
-    for record in router.records:
+    for record in report.records:
         done_by[record.processor] += 1
-    reachable = sum(1 for r in router.records if r.stats.result)
-    print(f"  all {len(router.records)} queries completed; "
+    reachable = sum(1 for r in report.records if r.stats.result)
+    print(f"  all {len(report.records)} queries completed; "
           f"{reachable} targets reachable")
     print(f"  queries per processor after failure: {done_by}")
     print(

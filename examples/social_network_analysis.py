@@ -3,23 +3,26 @@
 
 Models the paper's motivating LinkedIn scenario (§1): ego-centric queries
 ("who is within 2 hops of this member?") concentrated around trending
-profiles, where the trending region moves over time. Embed routing adapts
-its per-processor EMA to each new hotspot without any re-partitioning —
-the experiment shows cache hit rate recovering after every shift.
+profiles, where the trending region moves over time. One long-lived
+:class:`GraphService` serves the whole timeline; each trending phase is a
+:class:`QuerySession`, so per-phase reports come straight from the session
+API instead of slicing one flat record list. Embed routing adapts its
+per-processor EMA to each new hotspot without any re-partitioning — the
+per-session reports show cache hit rate recovering after every shift.
 
 Run:  python examples/social_network_analysis.py
 """
 
 import numpy as np
 
-from repro import ClusterConfig, GRoutingCluster, GraphAssets
-from repro.core import NeighborAggregationQuery, RandomWalkQuery
+from repro import ClusterConfig, GraphService
+from repro.core import GraphAssets, NeighborAggregationQuery, RandomWalkQuery
 from repro.graph import community_graph
 
 
-def shifting_hotspot_workload(assets, phases=4, regions_per_phase=10,
-                              queries_per_region=12, seed=3):
-    """Each phase interleaves queries over a fresh set of trending regions.
+def trending_phase_workloads(assets, phases=4, regions_per_phase=10,
+                             queries_per_region=12, seed=3):
+    """One workload per phase, each interleaving fresh trending regions.
 
     Interleaving is what separates the schemes: hash routing sprays every
     region across the whole tier, while embed routing pins each region to
@@ -28,13 +31,14 @@ def shifting_hotspot_workload(assets, phases=4, regions_per_phase=10,
     rng = np.random.default_rng(seed)
     csr = assets.csr_both
     eligible = np.flatnonzero(csr.degrees() > 0)
-    workload = []
+    workloads = []
     for _phase in range(phases):
         balls = []
         for _ in range(regions_per_phase):
             center = int(eligible[rng.integers(0, eligible.size)])
             ball = np.flatnonzero(csr.bfs_distances([center], max_hops=2) >= 0)
             balls.append(csr.node_ids[ball])
+        workload = []
         for i in range(queries_per_region):
             for ball_ids in balls:  # round-robin across trending regions
                 node = int(ball_ids[rng.integers(0, ball_ids.size)])
@@ -43,7 +47,8 @@ def shifting_hotspot_workload(assets, phases=4, regions_per_phase=10,
                         node=node, steps=2, seed=int(rng.integers(2**31))))
                 else:
                     workload.append(NeighborAggregationQuery(node=node, hops=2))
-    return workload
+        workloads.append(workload)
+    return workloads
 
 
 def main() -> None:
@@ -53,11 +58,9 @@ def main() -> None:
     assets = GraphAssets(graph)
     print(f"  {graph.num_nodes:,} members, {graph.num_edges:,} links")
 
-    queries = shifting_hotspot_workload(assets)
-    phases = 4
-    per_phase = len(queries) // phases
-    print(f"Workload: {phases} trending phases x {per_phase} queries "
-          f"(10 interleaved regions each)\n")
+    phase_workloads = trending_phase_workloads(assets)
+    print(f"Workload: {len(phase_workloads)} trending phases x "
+          f"{len(phase_workloads[0])} queries (10 interleaved regions each)\n")
 
     for scheme in ("hash", "embed"):
         config = ClusterConfig(
@@ -68,18 +71,20 @@ def main() -> None:
             embed_method="lmds",
             num_landmarks=48,
         )
-        cluster = GRoutingCluster(graph, config, assets=assets)
-        report = cluster.run(queries)
         print(f"--- {scheme} routing ---")
-        for phase in range(phases):
-            chunk = report.records[phase * per_phase:(phase + 1) * per_phase]
-            hits = sum(r.stats.cache_hits for r in chunk)
-            misses = sum(r.stats.cache_misses for r in chunk)
-            rate = hits / (hits + misses) if hits + misses else 0.0
-            mean_us = float(np.mean([r.response_time for r in chunk])) * 1e6
-            print(f"  phase {phase + 1}: hit rate {rate:5.3f}   "
-                  f"mean response {mean_us:7.1f} us")
-        print(f"  overall throughput: {report.throughput():,.0f} queries/s\n")
+        total_queries = 0
+        with GraphService.open(graph, config, assets=assets) as service:
+            for phase, workload in enumerate(phase_workloads):
+                with service.session() as session:  # one session per phase
+                    session.stream(workload)
+                    report = session.report()
+                total_queries += len(report.records)
+                print(f"  phase {phase + 1}: "
+                      f"hit rate {report.cache_hit_rate():5.3f}   "
+                      f"mean response "
+                      f"{report.mean_response_time() * 1e6:7.1f} us")
+            throughput = total_queries / service.env.now
+        print(f"  overall throughput: {throughput:,.0f} queries/s\n")
 
     print(
         "Embed routing re-concentrates each new trending region onto one "

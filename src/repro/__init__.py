@@ -14,24 +14,34 @@ Public API tour
 
 Quickstart::
 
-    from repro import ClusterConfig, run_workload
+    from repro import ClusterConfig, GraphService
     from repro.datasets import memetracker_like
-    from repro.workloads import hotspot_workload
+    from repro.workloads import hotspot_stream
 
     graph = memetracker_like(scale=0.3, seed=1)
-    queries = hotspot_workload(graph, num_hotspots=20, queries_per_hotspot=10)
-    report = run_workload(graph, queries, ClusterConfig(routing="embed"))
-    print(report.summary())
+    with GraphService.open(graph, ClusterConfig(routing="adaptive")) as service:
+        with service.session() as session:
+            session.stream(hotspot_stream(graph, num_hotspots=20))
+            print(session.report().summary())
+        # caches stay warm: the next session continues where this left off
+
+(:func:`run_workload` / :class:`GRoutingCluster` remain as the one-shot,
+cold-cache experiment harness the paper's figures are defined over.)
 """
 
 from .core import (
     ClusterConfig,
     GRoutingCluster,
     GraphAssets,
+    GraphService,
     NeighborAggregationQuery,
+    QueryIdAllocator,
+    QuerySession,
     RandomWalkQuery,
     ReachabilityQuery,
     WorkloadReport,
+    query_ids_from,
+    reset_query_ids,
     run_workload,
 )
 from .costs import (
@@ -43,7 +53,7 @@ from .costs import (
     NetworkModel,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClusterConfig",
@@ -53,12 +63,17 @@ __all__ = [
     "ETHERNET_COSTS",
     "GRoutingCluster",
     "GraphAssets",
+    "GraphService",
     "INFINIBAND",
     "NeighborAggregationQuery",
     "NetworkModel",
+    "QueryIdAllocator",
+    "QuerySession",
     "RandomWalkQuery",
     "ReachabilityQuery",
     "WorkloadReport",
+    "query_ids_from",
+    "reset_query_ids",
     "run_workload",
     "__version__",
 ]

@@ -227,7 +227,7 @@ class SedgeSystem(_CoupledBase):
             return node % self.num_servers
         return int(self.labels[idx])
 
-    def _hop_cost(self, frontier: np.ndarray, neighbors: np.ndarray,
+    def _hop_cost(self, _frontier: np.ndarray, neighbors: np.ndarray,
                   neighbor_sources: np.ndarray) -> float:
         costs = self.costs
         barrier = costs.barrier_base + costs.barrier_per_server * self.num_servers
@@ -271,8 +271,8 @@ class PowerGraphSystem(_CoupledBase):
     def _owner(self, node: int) -> int:
         return self.cut.master_of(node) % self.num_servers
 
-    def _hop_cost(self, frontier: np.ndarray, neighbors: np.ndarray,
-                  neighbor_sources: np.ndarray) -> float:
+    def _hop_cost(self, frontier: np.ndarray, _neighbors: np.ndarray,
+                  _neighbor_sources: np.ndarray) -> float:
         costs = self.costs
         extra_replicas = int(
             np.maximum(self.replica_counts[frontier] - 1, 0).sum()

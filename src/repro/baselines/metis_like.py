@@ -40,7 +40,7 @@ def _adjacency_from_csr(csr: CSRGraph) -> Adjacency:
 
 
 def _heavy_edge_matching(
-    adj: Adjacency, weights: np.ndarray, rng: np.random.Generator
+    adj: Adjacency, _weights: np.ndarray, rng: np.random.Generator
 ) -> Tuple[np.ndarray, int]:
     """Match each node with its heaviest unmatched neighbor."""
     n = len(adj)
@@ -87,7 +87,7 @@ def _grow_initial(
     adj: Adjacency,
     weights: np.ndarray,
     k: int,
-    rng: np.random.Generator,
+    _rng: np.random.Generator,
 ) -> np.ndarray:
     """Greedy BFS region growing into k balanced parts."""
     n = len(adj)

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core import GRoutingCluster
+from ..core import GraphService
 from ..core.queries import Query
 from ..workloads import hotspot_workload, uniform_workload, zipfian_workload
 from .experiments import scheme_config
@@ -92,12 +92,19 @@ def adaptive_routing_mixed(
     per_arm: Dict[str, int] = {}
     snapshot: Dict[str, object] = {}
     for routing in MIXED_SCHEMES:
-        cluster = GRoutingCluster(
+        # Session API, cold service per scheme: identical to the old
+        # one-shot runs (one session from cold caches), but routed through
+        # the public serving path so this benchmark exercises it.
+        with GraphService.open(
             ctx.graph,
             replace(scheme_config(routing), submit_batch=SUBMIT_BATCH),
             assets=ctx.assets,
-        )
-        report = cluster.run(queries)
+        ) as service:
+            with service.session() as session:
+                session.stream(queries)
+                report = session.report()
+            if routing == "adaptive":
+                snapshot = service.strategy.snapshot()
         classes = report.per_class_stats()
         rows.append([
             routing,
@@ -114,7 +121,6 @@ def adaptive_routing_mixed(
         ])
         if routing == "adaptive":
             per_arm = report.per_arm_counts()
-            snapshot = cluster.strategy.snapshot()
     emit(
         "Adaptive routing on a mixed workload (response times in µs)",
         ["routing", "mean", "p95", "point", "walk", "traversal",

@@ -155,5 +155,5 @@ class Timer:
         self.start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *_exc) -> None:
         self.elapsed = time.perf_counter() - self.start

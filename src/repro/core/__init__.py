@@ -2,18 +2,27 @@
 
 from .assets import GraphAssets
 from .cache import CacheStats, ProcessorCache
-from .cluster import ROUTING_CHOICES, ClusterConfig, GRoutingCluster, run_workload
+from .cluster import GRoutingCluster, run_workload
 from .metrics import QueryRecord, QueryStats, WorkloadReport
 from .processor import QueryProcessor
 from .queries import (
     QUERY_CLASSES,
     NeighborAggregationQuery,
     Query,
+    QueryIdAllocator,
     RandomWalkQuery,
     ReachabilityQuery,
     query_class,
+    query_ids_from,
+    reset_query_ids,
 )
 from .router import Router
+from .service import (
+    ROUTING_CHOICES,
+    ClusterConfig,
+    GraphService,
+    QuerySession,
+)
 from .routing import (
     AdaptiveRouting,
     EmbedRouting,
@@ -31,6 +40,7 @@ __all__ = [
     "EmbedRouting",
     "GRoutingCluster",
     "GraphAssets",
+    "GraphService",
     "HashRouting",
     "LandmarkRouting",
     "NeighborAggregationQuery",
@@ -38,8 +48,10 @@ __all__ = [
     "ProcessorCache",
     "QUERY_CLASSES",
     "Query",
+    "QueryIdAllocator",
     "QueryProcessor",
     "QueryRecord",
+    "QuerySession",
     "QueryStats",
     "ROUTING_CHOICES",
     "RandomWalkQuery",
@@ -49,5 +61,7 @@ __all__ = [
     "RoutingStrategy",
     "WorkloadReport",
     "query_class",
+    "query_ids_from",
+    "reset_query_ids",
     "run_workload",
 ]

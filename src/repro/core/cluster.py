@@ -1,83 +1,42 @@
-"""Cluster assembly: storage tier + processing tier + router, one run.
+"""One-shot experiment harness over the long-lived service facade.
 
-:class:`GRoutingCluster` is the public entry point of the reproduction —
-the piece that corresponds to "gRouting" in the paper. Build it from a
-graph and a :class:`ClusterConfig`, call :meth:`run` with a list of
-queries, and read the :class:`~repro.core.metrics.WorkloadReport`.
+:class:`GRoutingCluster` is the original public entry point of the
+reproduction — the piece that corresponds to "gRouting" in the paper.
+Build it from a graph and a :class:`~repro.core.service.ClusterConfig`,
+call :meth:`run` with a list of queries, and read the
+:class:`~repro.core.metrics.WorkloadReport`.
 
 One cluster instance corresponds to one experiment run: caches start cold
-(§4.1) and simulated time starts at zero.
+(§4.1) and simulated time starts at zero. Since the session API redesign
+it is a thin compatibility wrapper — one :class:`~repro.core.service.GraphService`
+plus one :class:`~repro.core.service.QuerySession` per :meth:`run` — kept
+because the paper's figures are defined over cold-cache runs. Anything
+serving continuous traffic should use :class:`GraphService` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..costs import DEFAULT_COSTS, CostModel
 from ..graph.digraph import Graph
-from ..sim import Environment
-from ..storage.tier import StorageTier
 from .assets import GraphAssets
 from .metrics import WorkloadReport
-from .processor import QueryProcessor
 from .queries import Query
-from .router import Router
-from .routing import (
-    AdaptiveRouting,
-    EmbedRouting,
-    HashRouting,
-    LandmarkRouting,
-    NextReadyRouting,
-    RoutingStrategy,
-)
+from .service import ROUTING_CHOICES, ClusterConfig, GraphService
 
-ROUTING_CHOICES = (
-    "next_ready", "hash", "landmark", "embed", "no_cache", "adaptive",
-)
-
-
-@dataclass(frozen=True)
-class ClusterConfig:
-    """Deployment + algorithm knobs (defaults follow §4.1 Parameter Setting)."""
-
-    num_processors: int = 7
-    num_storage_servers: int = 4
-    routing: str = "embed"
-    cache_capacity_bytes: int = 16 << 20
-    cache_policy: str = "lru"
-    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
-    load_factor: float = 20.0
-    alpha: float = 0.5
-    dim: int = 10
-    num_landmarks: int = 96
-    min_separation: int = 3
-    embed_method: str = "simplex"
-    steal: bool = True
-    seed: int = 0
-    materialize_storage: bool = False  # actually load records into the KV log
-    # -- adaptive-routing knobs ----------------------------------------------
-    #: Static arms the adaptive strategy can pick per query class.
-    adaptive_arms: Tuple[str, ...] = ("hash", "landmark", "embed")
-    #: Base exploration rate of the per-class epsilon-greedy policy.
-    epsilon: float = 0.1
-    #: Per-class decay applied to epsilon as decisions accumulate.
-    epsilon_decay: float = 0.05
-    #: Queries per audition epoch (each arm owns all traffic for one epoch).
-    adaptive_epoch: int = 32
-    #: EWMA smoothing for the latency / hit-rate / queue-depth feedback.
-    feedback_alpha: float = 0.2
-    #: Queries routed per submission wave. None = auto: everything at once
-    #: for static strategies (decisions don't depend on feedback), small
-    #: waves for adaptive so routing feedback informs later decisions.
-    submit_batch: Optional[int] = None
-
-    def with_routing(self, routing: str) -> "ClusterConfig":
-        return replace(self, routing=routing)
+__all__ = [
+    "ClusterConfig",
+    "GRoutingCluster",
+    "ROUTING_CHOICES",
+    "run_workload",
+]
 
 
 class GRoutingCluster:
     """A decoupled graph-querying cluster (Figure 2 of the paper)."""
+
+    #: Compat re-export; the authoritative knob lives on GraphService.
+    ADAPTIVE_BATCH = GraphService.ADAPTIVE_BATCH
 
     def __init__(
         self,
@@ -90,115 +49,47 @@ class GRoutingCluster:
         """``landmark_index`` / ``embedding`` override the assets-built
         artifacts — used by the graph-update experiments, where routing
         must run on *stale* preprocessing (Fig 10)."""
-        self._landmark_index_override = landmark_index
-        self._embedding_override = embedding
-        self.config = config or ClusterConfig()
-        if self.config.routing not in ROUTING_CHOICES:
-            raise ValueError(
-                f"unknown routing {self.config.routing!r}; "
-                f"choose from {ROUTING_CHOICES}"
-            )
-        if self.config.num_processors < 1:
-            raise ValueError("need at least one query processor")
-        self.assets = assets if assets is not None else GraphAssets(graph)
-        self.env = Environment()
-        self.tier = StorageTier(
-            self.env,
-            num_servers=self.config.num_storage_servers,
-            service_model=self.config.costs.storage,
+        self.service = GraphService(
+            graph,
+            config,
+            assets=assets,
+            landmark_index=landmark_index,
+            embedding=embedding,
         )
-        if self.config.materialize_storage:
-            self.tier.load_graph(self.assets.graph)
-        use_cache = self.config.routing != "no_cache"
-        self.processors: List[QueryProcessor] = [
-            QueryProcessor(
-                self.env,
-                processor_id=i,
-                tier=self.tier,
-                assets=self.assets,
-                costs=self.config.costs,
-                cache_capacity_bytes=self.config.cache_capacity_bytes,
-                cache_policy=self.config.cache_policy,
-                use_cache=use_cache,
-            )
-            for i in range(self.config.num_processors)
-        ]
-        self.strategy = self._build_strategy()
-        self.router = Router(
-            self.env, self.strategy, self.processors, steal=self.config.steal
-        )
-        for processor in self.processors:
-            processor.start(self.router)
         self._ran = False
 
-    def _build_strategy(self, routing: Optional[str] = None) -> RoutingStrategy:
-        cfg = self.config
-        routing = cfg.routing if routing is None else routing
-        if routing in ("next_ready", "no_cache"):
-            return NextReadyRouting()
-        if routing == "hash":
-            return HashRouting(cfg.num_processors)
-        if routing == "landmark":
-            index = self._landmark_index_override
-            if index is None:
-                index = self.assets.landmark_index(
-                    cfg.num_processors, cfg.num_landmarks, cfg.min_separation
-                )
-            return LandmarkRouting(index, load_factor=cfg.load_factor)
-        if routing == "adaptive":
-            if not cfg.adaptive_arms:
-                raise ValueError("adaptive routing needs at least one arm")
-            for arm in cfg.adaptive_arms:
-                # "no_cache" is not a routing decision but a cluster mode
-                # (caches off), which the adaptive wrapper can't honour —
-                # allowing it would mislabel cached next-ready dispatch.
-                if arm in ("adaptive", "no_cache") or arm not in ROUTING_CHOICES:
-                    raise ValueError(f"invalid adaptive arm {arm!r}")
-            return AdaptiveRouting(
-                {arm: self._build_strategy(arm) for arm in cfg.adaptive_arms},
-                epoch=cfg.adaptive_epoch,
-                epsilon=cfg.epsilon,
-                epsilon_decay=cfg.epsilon_decay,
-                feedback_alpha=cfg.feedback_alpha,
-                seed=cfg.seed,
-            )
-        # embed
-        embedding = self._embedding_override
-        if embedding is None:
-            embedding = self.assets.embedding(
-                dim=cfg.dim,
-                num_landmarks=cfg.num_landmarks,
-                min_separation=cfg.min_separation,
-                method=cfg.embed_method,
-            )
-        return EmbedRouting(
-            embedding,
-            num_processors=cfg.num_processors,
-            alpha=cfg.alpha,
-            load_factor=cfg.load_factor,
-            seed=cfg.seed,
-        )
+    # -- delegation to the underlying service --------------------------------
+    @property
+    def config(self) -> ClusterConfig:
+        return self.service.config
 
-    #: Default wave size for adaptive routing (see ClusterConfig.submit_batch).
-    #: Deep enough that the Eq. 3/7 load term still sees real queue depths,
-    #: shallow enough that feedback reaches the strategy while it matters.
-    ADAPTIVE_BATCH = 128
+    @property
+    def assets(self) -> GraphAssets:
+        return self.service.assets
 
-    def _batch_size(self, num_queries: int) -> int:
-        batch = self.config.submit_batch
-        if batch is None:
-            batch = (
-                self.ADAPTIVE_BATCH
-                if self.config.routing == "adaptive"
-                else num_queries
-            )
-        if batch < 1:
-            raise ValueError("submit_batch must be >= 1")
-        return batch
+    @property
+    def env(self):
+        return self.service.env
+
+    @property
+    def tier(self):
+        return self.service.tier
+
+    @property
+    def processors(self):
+        return self.service.processors
+
+    @property
+    def strategy(self):
+        return self.service.strategy
+
+    @property
+    def router(self):
+        return self.service.router
 
     # -- running a workload --------------------------------------------------
     def run(self, queries: Sequence[Query]) -> WorkloadReport:
-        """Execute ``queries``, submitted in waves of ``submit_batch``.
+        """Execute ``queries`` as one cold-cache session and report.
 
         Static strategies take everything in one wave (the paper's closed
         batch at t=0). Adaptive routing defaults to small waves so the
@@ -210,35 +101,16 @@ class GRoutingCluster:
                 "(caches must start cold per run)"
             )
         self._ran = True
-        if queries:
-            queries = list(queries)
-            batch = self._batch_size(len(queries))
-            refill = max(1, batch // 2)
-            self.router.submit(queries[:batch])
-            position = batch
-            while position < len(queries):
-                # Pipelined refill: top the router up when the backlog
-                # drains below the watermark, so processors never idle at
-                # a wave boundary (no barrier, no stealing churn).
-                self.env.run(until=self.router.when_backlog_at_most(refill))
-                self.router.submit(queries[position : position + batch])
-                position += batch
-            self.env.run(until=self.router.done)
-        report = WorkloadReport(
-            records=sorted(self.router.records, key=lambda r: r.query_id),
-            makespan=self.env.now,
-            num_processors=self.config.num_processors,
-            num_storage_servers=self.config.num_storage_servers,
-            routing=self.config.routing,
-        )
-        return report
+        with self.service.session() as session:
+            session.stream(queries)
+            return session.report()
 
     # -- diagnostics -------------------------------------------------------------
     def processor_utilizations(self) -> List[float]:
-        return [p.utilization(self.env.now) for p in self.processors]
+        return self.service.processor_utilizations()
 
     def storage_utilizations(self) -> List[float]:
-        return [s.utilization(self.env.now) for s in self.tier.servers]
+        return self.service.storage_utilizations()
 
 
 def run_workload(

@@ -11,8 +11,9 @@ Metric definitions follow §4.1 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -105,6 +106,70 @@ class WorkloadReport:
         hits = self.total_cache_hits()
         total = hits + self.total_cache_misses()
         return hits / total if total else 0.0
+
+    # -- windowed views ------------------------------------------------------
+    def time_bounds(self) -> Tuple[float, float]:
+        """(first arrival, last completion) across the report's records."""
+        if not self.records:
+            return (0.0, 0.0)
+        return (
+            min(r.enqueued_at for r in self.records),
+            max(r.finished_at for r in self.records),
+        )
+
+    def window(self, t0: float, t1: float) -> "WorkloadReport":
+        """Sub-report of the queries *completing* in ``[t0, t1)``.
+
+        Half-open on the right, so adjacent windows partition a run with
+        no record counted twice. Completion time is the binning key — a
+        query belongs to the window in which its work (and cache effect)
+        materialised. The sub-report's ``makespan`` is the window width,
+        which keeps :meth:`throughput` meaningful per window.
+        """
+        if t1 < t0:
+            raise ValueError("window requires t0 <= t1")
+        return replace(
+            self,
+            records=[r for r in self.records if t0 <= r.finished_at < t1],
+            makespan=t1 - t0,
+        )
+
+    def windows(self, count: int) -> List["WorkloadReport"]:
+        """Partition the run into ``count`` equal-width windows.
+
+        The windows tile ``[first arrival, last completion]``; the last
+        window is closed on the right (via the next representable float),
+        so every record lands in exactly one window and per-window counts
+        and cache totals sum exactly to the full report's.
+        """
+        if count < 1:
+            raise ValueError("need at least one window")
+        t0, t1 = self.time_bounds()
+        edges = [t0 + (t1 - t0) * i / count for i in range(count + 1)]
+        edges[-1] = math.nextafter(t1, math.inf)
+        return [self.window(a, b) for a, b in zip(edges, edges[1:])]
+
+    def per_window_stats(self, count: int) -> List[Dict[str, object]]:
+        """Steady-state view: headline + per-class stats per time window.
+
+        This is what separates warm-up from steady state in one run — the
+        early windows carry the compulsory cache misses, the late ones
+        show the regime the service sustains.
+        """
+        stats: List[Dict[str, object]] = []
+        for index, win in enumerate(self.windows(count)):
+            t0, t1 = win.time_bounds() if win.records else (0.0, 0.0)
+            stats.append({
+                "window": index,
+                "first_arrival_s": t0,
+                "last_completion_s": t1,
+                "queries": len(win.records),
+                "mean_response_ms": win.mean_response_time() * 1e3,
+                "throughput_qps": win.throughput(),
+                "cache_hit_rate": win.cache_hit_rate(),
+                "per_class": win.per_class_stats(),
+            })
+        return stats
 
     # -- per-class / per-arm stats -------------------------------------------
     def per_class_stats(self) -> Dict[str, Dict[str, float]]:

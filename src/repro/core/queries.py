@@ -7,15 +7,96 @@ dataclasses so they can be hashed, logged and replayed.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from itertools import count
-from typing import Optional
+from typing import Iterator, Optional
 
-_query_counter = count()
+
+class QueryIdAllocator:
+    """Deterministic query-id source.
+
+    Query ids must be unique *within a router's lifetime* (they key the
+    router's in-flight bookkeeping) and deterministic across replays so
+    recorded workloads compare record-for-record. A module-global counter
+    gives neither: ids depend on everything constructed earlier in the
+    process, and two parallel sessions generating queries interleave
+    unpredictably. Instead, each stream of queries can own an allocator —
+    ``start``/``stride`` carve out disjoint id lattices for parallel
+    generators (e.g. session *k* of *n* uses ``start=k, stride=n``).
+    """
+
+    def __init__(self, start: int = 0, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if start < 0:
+            raise ValueError("start must be >= 0")
+        self._start = start
+        self._next = start
+        self._stride = stride
+
+    def allocate(self) -> int:
+        value = self._next
+        self._next += self._stride
+        return value
+
+    def reset(self, start: Optional[int] = None) -> None:
+        """Rewind the allocator (deterministic workload replays).
+
+        Defaults to the construction-time ``start``, so a strided
+        allocator rewinds onto its own lattice, not someone else's.
+        """
+        if start is None:
+            start = self._start
+        elif start < 0:
+            raise ValueError("start must be >= 0")
+        self._next = start
+
+
+#: Process-default allocator, used when no scoped allocator is active.
+_default_allocator = QueryIdAllocator()
+_active_allocator = _default_allocator
 
 
 def _next_query_id() -> int:
-    return next(_query_counter)
+    return _active_allocator.allocate()
+
+
+def reset_query_ids(start: Optional[int] = None) -> None:
+    """Reset the *active* allocator — fresh ids for a workload replay.
+
+    Defaults to the allocator's own construction-time start.
+    """
+    _active_allocator.reset(start)
+
+
+def current_query_id_allocator() -> QueryIdAllocator:
+    """The allocator active right now (for capture at creation time).
+
+    Lazy workload generators snapshot this when they are *created*, so a
+    ``*_stream`` built inside a :func:`query_ids_from` scope keeps drawing
+    from that scope's allocator even when consumed after the scope exits.
+    """
+    return _active_allocator
+
+
+@contextmanager
+def query_ids_from(allocator: QueryIdAllocator) -> Iterator[QueryIdAllocator]:
+    """Scope query-id allocation to ``allocator`` within the block.
+
+    Queries constructed inside the ``with`` draw their default ids from
+    ``allocator`` instead of the process-wide counter, so parallel
+    workload generators get non-colliding, replay-deterministic ids::
+
+        with query_ids_from(QueryIdAllocator(start=1, stride=2)):
+            queries = zipfian_workload(graph, num_queries=100)  # odd ids
+    """
+    global _active_allocator
+    previous = _active_allocator
+    _active_allocator = allocator
+    try:
+        yield allocator
+    finally:
+        _active_allocator = previous
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,34 @@ class Router:
         self._submitted = 0
         self._completed = 0
         self._backlog_waits: List[Tuple[int, Event]] = []
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self) -> None:
+        """Refuse all further submissions (the owning service is closing).
+
+        Idempotent. In-flight queries are unaffected — the caller drains
+        them first if it wants a clean completion count.
+        """
+        self._closed = True
+
+    def set_strategy(self, strategy: RoutingStrategy) -> None:
+        """Swap the routing strategy between decisions (mid-session reconfig).
+
+        Already-routed queries keep their recorded decisions; feedback for
+        them flows to the *new* strategy, which must tolerate queries it
+        never chose (every strategy here does — static ones ignore
+        feedback, adaptive ones skip unknown query ids).
+        """
+        if self._closed:
+            raise RuntimeError("router is shut down; open a new GraphService")
+        if strategy is None:
+            raise ValueError("strategy must not be None")
+        self.strategy = strategy
 
     # -- submission ---------------------------------------------------------
     @property
@@ -91,7 +119,35 @@ class Router:
 
         May be called repeatedly (wave-based submission): the ``done`` event
         is re-armed whenever new work arrives after a completed batch.
+
+        Raises ``RuntimeError`` (rather than hanging silently) when the
+        router has been shut down or no alive processor remains to execute
+        anything — both used to strand queries in queues forever.
         """
+        if self._closed:
+            raise RuntimeError(
+                "cannot submit: router is shut down "
+                "(the owning GraphService was closed; open a new one)"
+            )
+        if not any(processor.alive for processor in self.processors):
+            raise RuntimeError(
+                "cannot submit: no alive processors remain "
+                "(all were removed or killed); queries would queue forever"
+            )
+        # Validate the whole batch before routing any of it: a mid-batch
+        # failure would leave submit() partially applied, and the caller's
+        # natural recovery (re-id and resubmit) would then run the already
+        # routed prefix twice.
+        queries = list(queries)
+        batch_ids = set()
+        for query in queries:
+            if query.query_id in self._pending or query.query_id in batch_ids:
+                raise ValueError(
+                    f"query id {query.query_id} is already in flight; "
+                    "replays need fresh ids (see QueryIdAllocator / "
+                    "reset_query_ids)"
+                )
+            batch_ids.add(query.query_id)
         if self.done.triggered:
             self.done = self.env.event()
         for query in queries:
@@ -103,13 +159,20 @@ class Router:
                 enqueued_at=self.env.now,
                 routed_via=self.strategy.decision_label(query),
             )
+            if target is not None and not 0 <= target < self.num_processors:
+                raise ValueError(
+                    f"strategy chose invalid processor {target}"
+                )
+            if target is not None and not self.processors[target].alive:
+                # A drained/dead processor takes no new work; decoupling
+                # lets the shared pool serve it (the same redistribution
+                # remove_processor applies to already-queued work).
+                # Without this, steal=False would strand the query in a
+                # queue nothing ever dispatches from.
+                target = None
             if target is None:
                 self.pool.append(query)
             else:
-                if not 0 <= target < self.num_processors:
-                    raise ValueError(
-                        f"strategy chose invalid processor {target}"
-                    )
                 self.strategy.on_dispatch(query, target)
                 self.queues[target].append(query)
         for processor_id in range(self.num_processors):

@@ -73,16 +73,16 @@ class RoutingStrategy(ABC):
     def on_feedback(self, feedback: RoutingFeedback) -> None:
         """Hook invoked when a routed query completes (adaptive updates)."""
 
-    def decision_label(self, query: Query) -> str:
+    def decision_label(self, _query: Query) -> str:
         """Which concrete scheme decided this query (for per-arm metrics).
 
         Composite strategies override this to name the sub-strategy that
-        actually routed ``query``; the router records it per query right
+        actually routed the query; the router records it per query right
         after :meth:`choose`.
         """
         return self.name
 
-    def decision_time(self, num_processors: int) -> float:
+    def decision_time(self, _num_processors: int) -> float:
         """Simulated router time to make one decision."""
         return BASE_DECISION_TIME
 

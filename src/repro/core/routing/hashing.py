@@ -21,8 +21,8 @@ class HashRouting(RoutingStrategy):
             raise ValueError("need at least one processor")
         self.num_processors = num_processors
 
-    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+    def choose(self, query: Query, _loads: Sequence[int]) -> Optional[int]:
         return query.node % self.num_processors
 
-    def decision_time(self, num_processors: int) -> float:
+    def decision_time(self, _num_processors: int) -> float:
         return BASE_DECISION_TIME

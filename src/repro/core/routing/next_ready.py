@@ -16,8 +16,8 @@ from .base import BASE_DECISION_TIME, RoutingStrategy
 class NextReadyRouting(RoutingStrategy):
     name = "next_ready"
 
-    def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+    def choose(self, _query: Query, _loads: Sequence[int]) -> Optional[int]:
         return None
 
-    def decision_time(self, num_processors: int) -> float:
+    def decision_time(self, _num_processors: int) -> float:
         return BASE_DECISION_TIME

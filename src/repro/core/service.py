@@ -1,0 +1,592 @@
+"""Long-lived service facade: one decoupled cluster, many query sessions.
+
+The paper's architecture exists to serve *online* queries arriving
+continuously, but a :class:`~repro.core.cluster.GRoutingCluster` is a
+one-shot experiment harness: every ``run()`` starts from cold caches
+(§4.1), which is right for regenerating figures and wrong for studying
+steady state. :class:`GraphService` is the serving-side entry point:
+
+* **build once** — graph assets, storage tier, processors (and their
+  caches), routing strategy and router are constructed when the service
+  opens and live until it closes;
+* **sessions** — a :class:`QuerySession` scopes one stream of queries:
+  incremental :meth:`~QuerySession.submit`, batched
+  :meth:`~QuerySession.submit_many`, or a generator-driven
+  :meth:`~QuerySession.stream` that feeds the router's pipelined
+  wave/backlog machinery; results come back as an iterator of
+  :class:`~repro.core.metrics.QueryRecord`;
+* **warm continuation** — closing a session leaves caches (and any
+  adaptive routing state) warm; the next session starts where traffic
+  left off, which is what lets benchmarks separate warm-up from steady
+  state via windowed :meth:`~QuerySession.report`;
+* **live reconfiguration** — :meth:`~QuerySession.set_routing` swaps the
+  routing strategy mid-session without touching storage or caches,
+  carrying learned adaptive state across the swap.
+
+One service admits one active session at a time: the simulated router is
+a single dispatch loop, and interleaving two id-spaces through it would
+make every record ambiguous. Parallel sessions belong to parallel
+services (one simulated cluster each), with
+:class:`~repro.core.queries.QueryIdAllocator` strides keeping their query
+ids disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import islice
+from math import inf, nextafter
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..costs import DEFAULT_COSTS, CostModel
+from ..graph.digraph import Graph
+from ..sim import Environment
+from ..storage.tier import StorageTier
+from .assets import GraphAssets
+from .metrics import QueryRecord, WorkloadReport
+from .processor import QueryProcessor
+from .queries import Query, QueryIdAllocator
+from .router import Router
+from .routing import (
+    AdaptiveRouting,
+    EmbedRouting,
+    HashRouting,
+    LandmarkRouting,
+    NextReadyRouting,
+    RoutingStrategy,
+)
+
+ROUTING_CHOICES = (
+    "next_ready", "hash", "landmark", "embed", "no_cache", "adaptive",
+)
+
+#: Config fields that shape the deployed hardware/caches. They cannot be
+#: changed by a live ``set_routing`` — altering them means a new service.
+STRUCTURAL_FIELDS = frozenset({
+    "num_processors", "num_storage_servers", "cache_capacity_bytes",
+    "cache_policy", "costs", "steal", "materialize_storage",
+})
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment + algorithm knobs (defaults follow §4.1 Parameter Setting)."""
+
+    num_processors: int = 7
+    num_storage_servers: int = 4
+    routing: str = "embed"
+    cache_capacity_bytes: int = 16 << 20
+    cache_policy: str = "lru"
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    load_factor: float = 20.0
+    alpha: float = 0.5
+    dim: int = 10
+    num_landmarks: int = 96
+    min_separation: int = 3
+    embed_method: str = "simplex"
+    steal: bool = True
+    seed: int = 0
+    materialize_storage: bool = False  # actually load records into the KV log
+    # -- adaptive-routing knobs ----------------------------------------------
+    #: Static arms the adaptive strategy can pick per query class.
+    adaptive_arms: Tuple[str, ...] = ("hash", "landmark", "embed")
+    #: Base exploration rate of the per-class epsilon-greedy policy.
+    epsilon: float = 0.1
+    #: Per-class decay applied to epsilon as decisions accumulate.
+    epsilon_decay: float = 0.05
+    #: Queries per audition epoch (each arm owns all traffic for one epoch).
+    adaptive_epoch: int = 32
+    #: EWMA smoothing for the latency / hit-rate / queue-depth feedback.
+    feedback_alpha: float = 0.2
+    #: Queries routed per submission wave. None = auto: everything at once
+    #: for static strategies (decisions don't depend on feedback), small
+    #: waves for adaptive so routing feedback informs later decisions.
+    submit_batch: Optional[int] = None
+
+    def with_routing(self, routing: str) -> "ClusterConfig":
+        return replace(self, routing=routing)
+
+
+class GraphService:
+    """A long-lived decoupled graph-querying cluster serving sessions."""
+
+    #: Default wave size for adaptive routing (see ClusterConfig.submit_batch):
+    #: deep enough that the Eq. 3/7 load term still sees real queue depths,
+    #: shallow enough that feedback reaches the strategy while it matters.
+    ADAPTIVE_BATCH = 128
+    #: Default wave size when streaming a workload of unknown length.
+    STREAM_BATCH = 256
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        assets: Optional[GraphAssets] = None,
+        landmark_index=None,
+        embedding=None,
+    ) -> None:
+        """``landmark_index`` / ``embedding`` override the assets-built
+        artifacts — used by the graph-update experiments, where routing
+        must run on *stale* preprocessing (Fig 10)."""
+        self._landmark_index_override = landmark_index
+        self._embedding_override = embedding
+        self.config = config or ClusterConfig()
+        if self.config.routing not in ROUTING_CHOICES:
+            raise ValueError(
+                f"unknown routing {self.config.routing!r}; "
+                f"choose from {ROUTING_CHOICES}"
+            )
+        if self.config.num_processors < 1:
+            raise ValueError("need at least one query processor")
+        self.assets = assets if assets is not None else GraphAssets(graph)
+        self.env = Environment()
+        self.tier = StorageTier(
+            self.env,
+            num_servers=self.config.num_storage_servers,
+            service_model=self.config.costs.storage,
+        )
+        if self.config.materialize_storage:
+            self.tier.load_graph(self.assets.graph)
+        use_cache = self.config.routing != "no_cache"
+        self.processors: List[QueryProcessor] = [
+            QueryProcessor(
+                self.env,
+                processor_id=i,
+                tier=self.tier,
+                assets=self.assets,
+                costs=self.config.costs,
+                cache_capacity_bytes=self.config.cache_capacity_bytes,
+                cache_policy=self.config.cache_policy,
+                use_cache=use_cache,
+            )
+            for i in range(self.config.num_processors)
+        ]
+        self.strategy = self._build_strategy(self.config)
+        self.router = Router(
+            self.env, self.strategy, self.processors, steal=self.config.steal
+        )
+        for processor in self.processors:
+            processor.start(self.router)
+        self._active_session: Optional["QuerySession"] = None
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        assets: Optional[GraphAssets] = None,
+        **overrides,
+    ) -> "GraphService":
+        """Build assets and tiers once; serve sessions until :meth:`close`."""
+        return cls(graph, config, assets=assets, **overrides)
+
+    # -- strategy construction ----------------------------------------------
+    def _build_strategy(
+        self, cfg: ClusterConfig, routing: Optional[str] = None
+    ) -> RoutingStrategy:
+        routing = cfg.routing if routing is None else routing
+        if routing in ("next_ready", "no_cache"):
+            return NextReadyRouting()
+        if routing == "hash":
+            return HashRouting(cfg.num_processors)
+        if routing == "landmark":
+            index = self._landmark_index_override
+            if index is None:
+                index = self.assets.landmark_index(
+                    cfg.num_processors, cfg.num_landmarks, cfg.min_separation
+                )
+            return LandmarkRouting(index, load_factor=cfg.load_factor)
+        if routing == "adaptive":
+            if not cfg.adaptive_arms:
+                raise ValueError("adaptive routing needs at least one arm")
+            for arm in cfg.adaptive_arms:
+                # "no_cache" is not a routing decision but a cluster mode
+                # (caches off), which the adaptive wrapper can't honour —
+                # allowing it would mislabel cached next-ready dispatch.
+                if arm in ("adaptive", "no_cache") or arm not in ROUTING_CHOICES:
+                    raise ValueError(f"invalid adaptive arm {arm!r}")
+            return AdaptiveRouting(
+                {arm: self._build_strategy(cfg, arm) for arm in cfg.adaptive_arms},
+                epoch=cfg.adaptive_epoch,
+                epsilon=cfg.epsilon,
+                epsilon_decay=cfg.epsilon_decay,
+                feedback_alpha=cfg.feedback_alpha,
+                seed=cfg.seed,
+            )
+        # embed
+        embedding = self._embedding_override
+        if embedding is None:
+            embedding = self.assets.embedding(
+                dim=cfg.dim,
+                num_landmarks=cfg.num_landmarks,
+                min_separation=cfg.min_separation,
+                method=cfg.embed_method,
+            )
+        return EmbedRouting(
+            embedding,
+            num_processors=cfg.num_processors,
+            alpha=cfg.alpha,
+            load_factor=cfg.load_factor,
+            seed=cfg.seed,
+        )
+
+    # -- sessions ------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def session(
+        self, id_allocator: Optional[QueryIdAllocator] = None
+    ) -> "QuerySession":
+        """Open a query session (one active per service).
+
+        ``id_allocator``, when given, re-ids every submitted query from a
+        session-owned allocator — deterministic, collision-free ids for
+        replays and for parallel services sharing one query log.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "GraphService is closed; open a new one to serve queries"
+            )
+        if self._active_session is not None and not self._active_session.closed:
+            raise RuntimeError(
+                "a session is already active on this service; close it "
+                "first (one router serves one query stream at a time)"
+            )
+        if self.router.backlog() > 0:
+            # An abandoned session (exception unwind seals without
+            # draining) left queries in flight. Finish them now,
+            # unattributed, so their completions can't land inside the new
+            # session's record range.
+            self.drain()
+        session = QuerySession(self, id_allocator=id_allocator)
+        self._active_session = session
+        return session
+
+    def _session_closed(self, session: "QuerySession") -> None:
+        if self._active_session is session:
+            self._active_session = None
+
+    # -- live reconfiguration -------------------------------------------------
+    def set_routing(
+        self,
+        routing: Optional[str] = None,
+        carry_state: bool = True,
+        **knobs,
+    ) -> RoutingStrategy:
+        """Swap the routing strategy without rebuilding storage or caches.
+
+        ``routing`` picks a new scheme (default: keep the current one);
+        ``knobs`` override algorithm fields of the config (load factors,
+        adaptive knobs, ...). Structural fields — processors, storage,
+        caches — are refused: changing them means deploying a new
+        service. Caches keep whatever the previous strategy organised
+        into them; that is the point.
+
+        When both the old and new strategies are adaptive and
+        ``carry_state`` is true, the learned arm state transfers, so the
+        new instance continues committed instead of re-auditioning warm
+        caches.
+        """
+        if self._closed:
+            raise RuntimeError("GraphService is closed")
+        structural = STRUCTURAL_FIELDS.intersection(knobs)
+        if structural:
+            raise ValueError(
+                f"cannot change structural fields {sorted(structural)} on a "
+                "live service; open a new GraphService instead"
+            )
+        new_routing = self.config.routing if routing is None else routing
+        if new_routing not in ROUTING_CHOICES:
+            raise ValueError(
+                f"unknown routing {new_routing!r}; choose from {ROUTING_CHOICES}"
+            )
+        if "no_cache" in (new_routing, self.config.routing) and (
+            new_routing != self.config.routing
+        ):
+            raise ValueError(
+                "cache mode is structural: cannot switch to or from "
+                "'no_cache' on a live service"
+            )
+        new_config = replace(self.config, routing=new_routing, **knobs)
+        new_strategy = self._build_strategy(new_config)
+        if (
+            carry_state
+            and isinstance(self.strategy, AdaptiveRouting)
+            and isinstance(new_strategy, AdaptiveRouting)
+        ):
+            new_strategy.import_state(self.strategy.export_state())
+        self.router.set_strategy(new_strategy)
+        self.config = new_config
+        self.strategy = new_strategy
+        return new_strategy
+
+    # -- lifecycle -------------------------------------------------------------
+    def drain(self) -> None:
+        """Run the simulation until no submitted query remains in flight."""
+        while self.router.backlog() > 0:
+            self.env.run(until=self.router.done)
+
+    def close(self, drain: bool = True) -> None:
+        """Drain outstanding work, then refuse all further submissions.
+
+        ``drain=False`` abandons in-flight work instead (used when
+        unwinding an exception — finishing a workload the caller gave up
+        on would be wrong, and a deadlocked drain would mask the original
+        error).
+        """
+        if self._closed:
+            return
+        if self._active_session is not None and not self._active_session.closed:
+            self._active_session.close(drain=drain)
+        if drain:
+            self.drain()
+        self.router.shutdown()
+        self._closed = True
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- submission defaults ---------------------------------------------------
+    def _default_batch(self, workload) -> int:
+        batch = self.config.submit_batch
+        if batch is None:
+            if self.config.routing == "adaptive":
+                return self.ADAPTIVE_BATCH
+            try:
+                return max(1, len(workload))
+            except TypeError:  # a generator: stream in bounded waves
+                return self.STREAM_BATCH
+        if batch < 1:
+            raise ValueError("submit_batch must be >= 1")
+        return batch
+
+    # -- diagnostics -----------------------------------------------------------
+    def processor_utilizations(self) -> List[float]:
+        return [p.utilization(self.env.now) for p in self.processors]
+
+    def storage_utilizations(self) -> List[float]:
+        return [s.utilization(self.env.now) for s in self.tier.servers]
+
+
+class QuerySession:
+    """One scoped stream of queries through a :class:`GraphService`.
+
+    Sessions delimit reporting windows, not cluster state: caches and
+    routing state deliberately survive session boundaries (warm
+    continuation). Obtain one via :meth:`GraphService.session`, preferably
+    as a context manager; :meth:`close` drains in-flight work so the next
+    session starts from an idle, warm cluster.
+    """
+
+    def __init__(
+        self,
+        service: GraphService,
+        id_allocator: Optional[QueryIdAllocator] = None,
+    ) -> None:
+        self.service = service
+        self.env = service.env
+        self.router = service.router
+        self._ids = id_allocator
+        self.started_at = self.env.now
+        self._start_index = len(self.router.records)
+        self._end_index: Optional[int] = None
+        self._cursor = self._start_index
+        self.submitted = 0
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._end_index is not None
+
+    def _end(self) -> int:
+        """End of this session's slice of the router's record log."""
+        if self._end_index is not None:
+            return self._end_index
+        return len(self.router.records)
+
+    def backlog(self) -> int:
+        """This session's submitted-but-incomplete query count."""
+        return 0 if self.closed else self.router.backlog()
+
+    @property
+    def completed(self) -> int:
+        """How many of this session's queries have completed (O(1) —
+        safe to poll from simulation processes)."""
+        return self._end() - self._start_index
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        """Records completed so far, in completion order (non-blocking).
+
+        Copies the session's slice of the record log; poll
+        :attr:`completed` instead when only the count is needed.
+        """
+        return self.router.records[self._start_index:self._end()]
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(
+                "session is closed; open a new one on the service"
+            )
+
+    def _tag(self, query: Query) -> Query:
+        if self._ids is None:
+            return query
+        return replace(query, query_id=self._ids.allocate())
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, query: Query) -> Query:
+        """Route one query immediately; returns the (possibly re-id'd) query.
+
+        Submission alone does not advance simulated time — interleave with
+        :meth:`results`, :meth:`drain` or :meth:`report` to execute.
+        """
+        self._check_open()
+        query = self._tag(query)
+        self.router.submit([query])
+        self.submitted += 1
+        return query
+
+    def submit_many(self, queries: Iterable[Query]) -> List[Query]:
+        """Route a batch in one wave; returns the submitted queries."""
+        self._check_open()
+        batch = [self._tag(q) for q in queries]
+        self.router.submit(batch)
+        self.submitted += len(batch)
+        return batch
+
+    def stream(
+        self,
+        workload: Iterable[Query],
+        batch: Optional[int] = None,
+        refill: Optional[int] = None,
+    ) -> int:
+        """Feed a workload — any iterable, generators included — through
+        the router's pipelined wave/backlog machinery.
+
+        Waves of ``batch`` queries are topped up whenever the cluster
+        backlog drains below ``refill`` (default ``batch // 2``), so
+        processors never idle at a wave boundary and feedback-driven
+        strategies decide later waves with earlier acks already absorbed.
+        Returns the number of queries submitted; completion is awaited by
+        :meth:`drain` / :meth:`report` / :meth:`results`.
+        """
+        self._check_open()
+        if batch is None:
+            batch = self.service._default_batch(workload)
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if refill is None:
+            refill = max(1, batch // 2)
+        iterator = iter(workload)
+        submitted = 0
+        wave = list(islice(iterator, batch))
+        while wave:
+            if submitted:
+                self.env.run(until=self.router.when_backlog_at_most(refill))
+            self.submit_many(wave)
+            submitted += len(wave)
+            wave = list(islice(iterator, batch))
+        return submitted
+
+    # -- completion --------------------------------------------------------------
+    def results(self) -> Iterator[QueryRecord]:
+        """Yield this session's records in completion order, advancing the
+        simulation as needed until the session's backlog is drained.
+
+        Safe to interleave with further :meth:`submit` calls: newly
+        submitted queries extend the iteration.
+        """
+        while True:
+            end = self._end()
+            while self._cursor < end:
+                record = self.router.records[self._cursor]
+                self._cursor += 1
+                yield record
+            if self.closed or self.router.backlog() == 0:
+                return
+            self.env.run(
+                until=self.router.when_backlog_at_most(self.router.backlog() - 1)
+            )
+
+    def drain(self) -> None:
+        """Run the simulation until every submitted query has completed."""
+        if not self.closed:
+            self.service.drain()
+
+    # -- reconfiguration ---------------------------------------------------------
+    def set_routing(
+        self,
+        routing: Optional[str] = None,
+        carry_state: bool = True,
+        **knobs,
+    ) -> RoutingStrategy:
+        """Swap routing strategies mid-session (see
+        :meth:`GraphService.set_routing`); storage and caches stay put."""
+        self._check_open()
+        return self.service.set_routing(
+            routing, carry_state=carry_state, **knobs
+        )
+
+    # -- reporting ---------------------------------------------------------------
+    def report(
+        self,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> WorkloadReport:
+        """Workload report over this session's queries (drains first).
+
+        ``since``/``until`` (simulated seconds) clip the report to the
+        queries completing in ``[since, until)`` — e.g.
+        ``report(since=warmup_end)`` measures steady state only. Defaults
+        cover the whole session. Finer segmentation is on the report
+        itself: :meth:`WorkloadReport.window`, :meth:`WorkloadReport.windows`
+        and :meth:`WorkloadReport.per_window_stats`.
+        """
+        if not self.closed:
+            self.drain()
+        records = sorted(
+            self.router.records[self._start_index:self._end()],
+            key=lambda r: r.query_id,
+        )
+        ended_at = max(
+            (r.finished_at for r in records), default=self.started_at
+        )
+        config = self.service.config
+        report = WorkloadReport(
+            records=records,
+            makespan=ended_at - self.started_at,
+            num_processors=config.num_processors,
+            num_storage_servers=config.num_storage_servers,
+            routing=config.routing,
+        )
+        if since is not None or until is not None:
+            t0 = self.started_at if since is None else since
+            t1 = nextafter(ended_at, inf) if until is None else until
+            report = report.window(t0, t1)
+        return report
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Drain in-flight work and seal the session's record range.
+
+        ``drain=False`` seals immediately, abandoning in-flight work
+        (exception unwind — see :meth:`GraphService.close`).
+        """
+        if self.closed:
+            return
+        if drain:
+            self.drain()
+        self._end_index = len(self.router.records)
+        self.service._session_closed(self)
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.close(drain=exc_type is None)

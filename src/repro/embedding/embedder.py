@@ -181,7 +181,6 @@ class GraphEmbedding:
         method: str = "simplex",
         landmark_distances: Optional[LandmarkDistances] = None,
         nm_iterations: int = 120,
-        seed: int = 0,
     ) -> "GraphEmbedding":
         """Embed every node of ``csr`` (bi-directed view expected).
 

@@ -1,15 +1,28 @@
-"""Query workload generators (hotspot, uniform, zipfian)."""
+"""Query workload generators (hotspot, uniform, zipfian).
+
+Each workload is available as a lazy ``*_stream`` generator (the session
+API's unit) and a materialised ``*_workload`` list (the one-shot
+harness's unit); :func:`interleave` composes streams.
+"""
 
 from .hotspot import (
     DEFAULT_MIX,
+    hotspot_stream,
     hotspot_workload,
+    interleave,
+    uniform_stream,
     uniform_workload,
+    zipfian_stream,
     zipfian_workload,
 )
 
 __all__ = [
     "DEFAULT_MIX",
+    "hotspot_stream",
     "hotspot_workload",
+    "interleave",
+    "uniform_stream",
     "uniform_workload",
+    "zipfian_stream",
     "zipfian_workload",
 ]

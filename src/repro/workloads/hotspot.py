@@ -5,11 +5,19 @@ random; around each center pick ``queries_per_hotspot`` query nodes within
 ``radius`` hops (so any two nodes of one hotspot are within ``2 * radius``
 hops of each other); group all of one hotspot's queries consecutively. The
 queries themselves are a uniform mixture of the three h-hop types.
+
+Every workload comes in two forms: a ``*_stream`` generator — the unit the
+session API consumes, yielding queries lazily so a
+:class:`~repro.core.service.QuerySession` can pipeline waves without ever
+materialising the full workload — and the original list-returning
+function, now a thin ``list(...)`` wrapper kept for the one-shot
+experiment harness. :func:`interleave` composes finite streams into one
+mixed arrival order.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +26,7 @@ from ..core.queries import (
     Query,
     RandomWalkQuery,
     ReachabilityQuery,
+    current_query_id_allocator,
 )
 from ..graph.csr import CSRGraph
 from ..graph.digraph import Graph
@@ -26,18 +35,78 @@ DEFAULT_MIX = ("aggregation", "walk", "reachability")
 
 
 def _make_query(kind: str, node: int, hops: int, ball: np.ndarray,
-                rng: np.random.Generator) -> Query:
+                rng: np.random.Generator, query_id: int) -> Query:
+    # Ids are passed explicitly: lazy streams allocate from the allocator
+    # captured at stream-creation time, so a stream built inside a
+    # ``query_ids_from`` scope keeps its scoped ids even when consumed
+    # after the scope exits (generators run late).
     if kind == "aggregation":
-        return NeighborAggregationQuery(node=node, hops=hops)
+        return NeighborAggregationQuery(node=node, query_id=query_id,
+                                        hops=hops)
     if kind == "walk":
-        return RandomWalkQuery(node=node, steps=hops,
+        return RandomWalkQuery(node=node, query_id=query_id, steps=hops,
                                seed=int(rng.integers(0, 2**31)))
     if kind == "reachability":
         # Target drawn from the same hotspot ball: realistic "is my nearby
         # contact reachable" probes that keep the traversal local.
         target = int(ball[rng.integers(0, len(ball))])
-        return ReachabilityQuery(node=node, target=target, hops=hops)
+        return ReachabilityQuery(node=node, query_id=query_id,
+                                 target=target, hops=hops)
     raise ValueError(f"unknown query kind: {kind!r}")
+
+
+def _bidirected_csr(graph: Graph, csr: Optional[CSRGraph]) -> CSRGraph:
+    """Reuse the caller's prebuilt bi-directed CSR view or build one."""
+    if csr is None:
+        csr = CSRGraph.from_graph(graph, direction="both")
+    return csr
+
+
+def hotspot_stream(
+    graph: Graph,
+    num_hotspots: int = 100,
+    queries_per_hotspot: int = 10,
+    radius: int = 2,
+    hops: int = 2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> Iterator[Query]:
+    """Stream the paper's hotspot workload over ``graph``.
+
+    Yields ``num_hotspots * queries_per_hotspot`` queries, hotspot-grouped
+    in order, one hotspot ball materialised at a time. Pass a prebuilt
+    bi-directed ``csr`` to skip rebuilding it. Arguments are validated
+    eagerly; generation is lazy.
+    """
+    if num_hotspots < 1 or queries_per_hotspot < 1:
+        raise ValueError("hotspot counts must be positive")
+    if radius < 0 or hops < 1:
+        raise ValueError("radius must be >= 0 and hops >= 1")
+    if not mix:
+        raise ValueError("query mix cannot be empty")
+    csr = _bidirected_csr(graph, csr)
+    degrees = csr.degrees()
+    eligible = np.flatnonzero(degrees > 0)
+    if eligible.size == 0:
+        raise ValueError("graph has no connected nodes to query")
+
+    ids = current_query_id_allocator()
+
+    def generate() -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        for _ in range(num_hotspots):
+            center = int(eligible[rng.integers(0, eligible.size)])
+            dist = csr.bfs_distances([center], max_hops=radius)
+            ball_idx = np.flatnonzero(dist >= 0)  # includes the center
+            ball_ids = csr.node_ids[ball_idx]
+            for i in range(queries_per_hotspot):
+                query_node = int(ball_ids[rng.integers(0, ball_ids.size)])
+                kind = mix[i % len(mix)]
+                yield _make_query(kind, query_node, hops, ball_ids, rng,
+                                  ids.allocate())
+
+    return generate()
 
 
 def hotspot_workload(
@@ -50,37 +119,44 @@ def hotspot_workload(
     seed: int = 0,
     csr: Optional[CSRGraph] = None,
 ) -> List[Query]:
-    """Generate the paper's hotspot workload over ``graph``.
+    """Materialised :func:`hotspot_stream` (the one-shot harness's unit)."""
+    return list(hotspot_stream(
+        graph,
+        num_hotspots=num_hotspots,
+        queries_per_hotspot=queries_per_hotspot,
+        radius=radius,
+        hops=hops,
+        mix=mix,
+        seed=seed,
+        csr=csr,
+    ))
 
-    Returns ``num_hotspots * queries_per_hotspot`` queries, hotspot-grouped
-    in order. Pass a prebuilt bi-directed ``csr`` to skip rebuilding it.
-    """
-    if num_hotspots < 1 or queries_per_hotspot < 1:
-        raise ValueError("hotspot counts must be positive")
-    if radius < 0 or hops < 1:
-        raise ValueError("radius must be >= 0 and hops >= 1")
-    if not mix:
-        raise ValueError("query mix cannot be empty")
-    if csr is None:
-        csr = CSRGraph.from_graph(graph, direction="both")
-    rng = np.random.default_rng(seed)
 
+def uniform_stream(
+    graph: Graph,
+    num_queries: int = 1000,
+    hops: int = 2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> Iterator[Query]:
+    """Stream queries on uniformly random nodes — no locality at all."""
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    csr = _bidirected_csr(graph, csr)
     degrees = csr.degrees()
-    eligible = np.flatnonzero(degrees > 0)
-    if eligible.size == 0:
-        raise ValueError("graph has no connected nodes to query")
+    eligible = csr.node_ids[degrees > 0]
 
-    queries: List[Query] = []
-    for _ in range(num_hotspots):
-        center = int(eligible[rng.integers(0, eligible.size)])
-        dist = csr.bfs_distances([center], max_hops=radius)
-        ball_idx = np.flatnonzero(dist >= 0)  # includes the center
-        ball_ids = csr.node_ids[ball_idx]
-        for i in range(queries_per_hotspot):
-            query_node = int(ball_ids[rng.integers(0, ball_ids.size)])
-            kind = mix[i % len(mix)]
-            queries.append(_make_query(kind, query_node, hops, ball_ids, rng))
-    return queries
+    ids = current_query_id_allocator()
+
+    def generate() -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        for i in range(num_queries):
+            node = int(eligible[rng.integers(0, eligible.size)])
+            yield _make_query(mix[i % len(mix)], node, hops, eligible, rng,
+                              ids.allocate())
+
+    return generate()
 
 
 def uniform_workload(
@@ -91,20 +167,47 @@ def uniform_workload(
     seed: int = 0,
     csr: Optional[CSRGraph] = None,
 ) -> List[Query]:
-    """Queries on uniformly random nodes — no locality at all."""
+    """Materialised :func:`uniform_stream`."""
+    return list(uniform_stream(
+        graph, num_queries=num_queries, hops=hops, mix=mix, seed=seed, csr=csr,
+    ))
+
+
+def zipfian_stream(
+    graph: Graph,
+    num_queries: int = 1000,
+    hops: int = 2,
+    skew: float = 1.2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> Iterator[Query]:
+    """Stream queries whose nodes follow a Zipf popularity distribution.
+
+    Models repeat-heavy production traffic: a few nodes are queried over
+    and over (where hash routing's repeat locality shines).
+    """
     if num_queries < 1:
         raise ValueError("num_queries must be positive")
-    if csr is None:
-        csr = CSRGraph.from_graph(graph, direction="both")
-    rng = np.random.default_rng(seed)
+    if skew <= 1.0:
+        raise ValueError("skew must exceed 1.0 for a proper Zipf law")
+    csr = _bidirected_csr(graph, csr)
     degrees = csr.degrees()
     eligible = csr.node_ids[degrees > 0]
-    queries: List[Query] = []
-    for i in range(num_queries):
-        node = int(eligible[rng.integers(0, eligible.size)])
-        queries.append(_make_query(mix[i % len(mix)], node, hops,
-                                   eligible, rng))
-    return queries
+
+    ids = current_query_id_allocator()
+
+    def generate() -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        # Rank nodes in a fixed shuffled order; rank r is queried ∝ r^-skew.
+        order = rng.permutation(eligible)
+        for i in range(num_queries):
+            rank = min(int(rng.zipf(skew)) - 1, order.size - 1)
+            node = int(order[rank])
+            yield _make_query(mix[i % len(mix)], node, hops, eligible, rng,
+                              ids.allocate())
+
+    return generate()
 
 
 def zipfian_workload(
@@ -116,24 +219,35 @@ def zipfian_workload(
     seed: int = 0,
     csr: Optional[CSRGraph] = None,
 ) -> List[Query]:
-    """Queries whose nodes follow a Zipf popularity distribution.
+    """Materialised :func:`zipfian_stream`."""
+    return list(zipfian_stream(
+        graph, num_queries=num_queries, hops=hops, skew=skew, mix=mix,
+        seed=seed, csr=csr,
+    ))
 
-    Models repeat-heavy production traffic: a few nodes are queried over
-    and over (where hash routing's repeat locality shines).
+
+def interleave(
+    streams: Sequence[Iterable[Query]], seed: int = 0
+) -> Iterator[Query]:
+    """Randomly interleave finite query streams into one arrival order.
+
+    Each next query is drawn from a uniformly random still-live stream, so
+    the mixture stays mixed to the end (round-robin would let the longest
+    stream run pure once the others drain... it still does at the tail,
+    but without the deterministic phase structure). Deterministic for a
+    fixed ``seed``. All input streams are exhausted.
     """
-    if skew <= 1.0:
-        raise ValueError("skew must exceed 1.0 for a proper Zipf law")
-    if csr is None:
-        csr = CSRGraph.from_graph(graph, direction="both")
-    rng = np.random.default_rng(seed)
-    degrees = csr.degrees()
-    eligible = csr.node_ids[degrees > 0]
-    # Rank nodes in a fixed shuffled order; rank r is queried ∝ r^-skew.
-    order = rng.permutation(eligible)
-    queries: List[Query] = []
-    for i in range(num_queries):
-        rank = min(int(rng.zipf(skew)) - 1, order.size - 1)
-        node = int(order[rank])
-        queries.append(_make_query(mix[i % len(mix)], node, hops,
-                                   eligible, rng))
-    return queries
+    if not streams:
+        raise ValueError("need at least one stream to interleave")
+
+    def generate() -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        live = [iter(stream) for stream in streams]
+        while live:
+            index = int(rng.integers(len(live)))
+            try:
+                yield next(live[index])
+            except StopIteration:
+                live.pop(index)
+
+    return generate()

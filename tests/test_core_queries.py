@@ -1,0 +1,90 @@
+"""Query-id allocation: determinism, scoping, parallel-stream disjointness."""
+
+import pytest
+
+from repro import QueryIdAllocator, query_ids_from, reset_query_ids
+from repro.core import NeighborAggregationQuery
+
+
+class TestQueryIdAllocator:
+    def test_sequential_allocation(self):
+        allocator = QueryIdAllocator()
+        assert [allocator.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_start_and_stride_carve_disjoint_lattices(self):
+        evens = QueryIdAllocator(start=0, stride=2)
+        odds = QueryIdAllocator(start=1, stride=2)
+        a = {evens.allocate() for _ in range(100)}
+        b = {odds.allocate() for _ in range(100)}
+        assert not a & b
+
+    def test_reset_replays_identically(self):
+        allocator = QueryIdAllocator(start=7, stride=3)
+        first = [allocator.allocate() for _ in range(5)]
+        allocator.reset(start=7)
+        assert [allocator.allocate() for _ in range(5)] == first
+
+    def test_reset_defaults_to_own_start(self):
+        # A strided allocator must rewind onto its *own* lattice, not 0 —
+        # otherwise a replay would collide with its partner lattice.
+        odds = QueryIdAllocator(start=1, stride=2)
+        [odds.allocate() for _ in range(4)]
+        odds.reset()
+        assert [odds.allocate() for _ in range(3)] == [1, 3, 5]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QueryIdAllocator(stride=0)
+        with pytest.raises(ValueError):
+            QueryIdAllocator(start=-1)
+        with pytest.raises(ValueError):
+            QueryIdAllocator().reset(-5)
+
+
+class TestScopedAllocation:
+    def test_query_ids_from_scopes_defaults(self):
+        with query_ids_from(QueryIdAllocator(start=500)):
+            inside = [NeighborAggregationQuery(node=n) for n in range(3)]
+        outside = NeighborAggregationQuery(node=0)
+        assert [q.query_id for q in inside] == [500, 501, 502]
+        assert outside.query_id not in {500, 501, 502}
+
+    def test_scope_restores_previous_allocator_on_error(self):
+        before = NeighborAggregationQuery(node=0).query_id
+        with pytest.raises(RuntimeError):
+            with query_ids_from(QueryIdAllocator(start=10_000)):
+                raise RuntimeError("boom")
+        after = NeighborAggregationQuery(node=0).query_id
+        assert after == before + 1
+
+    def test_reset_query_ids_applies_to_active_scope(self):
+        with query_ids_from(QueryIdAllocator(start=42)) as allocator:
+            assert NeighborAggregationQuery(node=0).query_id == 42
+            reset_query_ids(start=42)
+            assert allocator.allocate() == 42
+
+    def test_parallel_generators_never_collide(self):
+        streams = []
+        for k in range(3):
+            with query_ids_from(QueryIdAllocator(start=k, stride=3)):
+                streams.append(
+                    [NeighborAggregationQuery(node=n) for n in range(20)]
+                )
+        ids = [q.query_id for stream in streams for q in stream]
+        assert len(ids) == len(set(ids))
+
+    def test_lazy_streams_capture_allocator_at_creation(self):
+        # A *_stream built inside a scope keeps the scope's ids even when
+        # consumed after the scope exits (generators run late).
+        from repro.graph import ring_of_cliques
+        from repro.workloads import uniform_stream
+
+        graph = ring_of_cliques(4, 5)
+        with query_ids_from(QueryIdAllocator(start=1, stride=2)):
+            odds = uniform_stream(graph, num_queries=10, seed=1)
+        with query_ids_from(QueryIdAllocator(start=0, stride=2)):
+            evens = uniform_stream(graph, num_queries=10, seed=2)
+        odd_ids = [q.query_id for q in odds]      # consumed outside scopes
+        even_ids = [q.query_id for q in evens]
+        assert odd_ids == list(range(1, 21, 2))
+        assert even_ids == list(range(0, 20, 2))

@@ -199,6 +199,65 @@ class TestEdgeCases:
             cluster.run(_queries(range(3)))
 
 
+class TestLifecycleGuards:
+    def test_submit_after_shutdown_raises(self, graph, assets):
+        cluster = _cluster(graph, assets)
+        cluster.router.shutdown()
+        assert cluster.router.closed
+        with pytest.raises(RuntimeError, match="shut down"):
+            cluster.router.submit(_queries([0]))
+
+    def test_shutdown_is_idempotent(self, graph, assets):
+        cluster = _cluster(graph, assets)
+        cluster.router.shutdown()
+        cluster.router.shutdown()
+        assert cluster.router.closed
+
+    def test_submit_with_all_processors_dead_raises(self, graph, assets):
+        # Mid-reconfig / post-failure: an empty effective processor set
+        # must be a clear error, not queries stranded in queues forever.
+        cluster = _cluster(graph, assets, processors=2)
+        cluster.router.remove_processor(0)
+        cluster.router.remove_processor(1)
+        with pytest.raises(RuntimeError, match="no alive processors"):
+            cluster.router.submit(_queries([0]))
+
+    def test_submit_to_dead_processor_redistributes(self, graph, assets):
+        # With steal off, a query routed to a removed processor's queue
+        # would strand forever; submit must pool it instead (the same
+        # redistribution remove_processor applies to queued work).
+        cluster = _cluster(graph, assets, routing="hash", processors=2,
+                           steal=False)
+        router = cluster.router
+        router.remove_processor(0)
+        nodes = [n for n in range(0, 12, 2) if graph.has_node(n)]  # hash -> 0
+        router.submit(_queries(nodes))
+        cluster.env.run(until=router.done)
+        assert len(router.records) == len(nodes)
+        assert all(r.processor == 1 for r in router.records)
+        assert all(r.intended_processor == 0 for r in router.records)
+
+    def test_set_strategy_after_shutdown_raises(self, graph, assets):
+        cluster = _cluster(graph, assets)
+        cluster.router.shutdown()
+        with pytest.raises(RuntimeError):
+            cluster.router.set_strategy(cluster.strategy)
+
+    def test_set_strategy_swaps_decisions(self, graph, assets):
+        from repro.core import NextReadyRouting
+
+        cluster = _cluster(graph, assets, routing="hash", processors=2)
+        router = cluster.router
+        router.submit(_queries([0, 2]))
+        router.set_strategy(NextReadyRouting())
+        router.submit(_queries([4, 6]))
+        cluster.env.run(until=router.done)
+        labels = {r.query_id: r.routed_via for r in router.records}
+        assert sorted(labels.values()) == [
+            "hash", "hash", "next_ready", "next_ready",
+        ]
+
+
 class TestRoutingFeedback:
     def test_feedback_delivered_per_ack(self, graph, assets):
         cluster = _cluster(graph, assets, routing="hash", processors=2)

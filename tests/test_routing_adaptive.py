@@ -25,14 +25,14 @@ class StubArm(RoutingStrategy):
         self.dispatches = 0
         self.feedbacks = 0
 
-    def choose(self, query, loads):
+    def choose(self, _query, _loads):
         self.chosen += 1
         return self.processor
 
-    def on_dispatch(self, query, processor):
+    def on_dispatch(self, _query, _processor):
         self.dispatches += 1
 
-    def on_feedback(self, feedback):
+    def on_feedback(self, _feedback):
         self.feedbacks += 1
 
 

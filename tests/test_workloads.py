@@ -8,7 +8,15 @@ from repro.core import (
     ReachabilityQuery,
 )
 from repro.graph import CSRGraph, Graph, bfs_distances, ring_of_cliques
-from repro.workloads import hotspot_workload, uniform_workload, zipfian_workload
+from repro.workloads import (
+    hotspot_stream,
+    hotspot_workload,
+    interleave,
+    uniform_stream,
+    uniform_workload,
+    zipfian_stream,
+    zipfian_workload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +109,57 @@ class TestUniformWorkload:
     def test_invalid_count(self, graph):
         with pytest.raises(ValueError):
             uniform_workload(graph, num_queries=0)
+
+
+class TestStreams:
+    def test_streams_are_lazy_but_match_lists(self, graph):
+        for stream_fn, list_fn, kwargs in (
+            (hotspot_stream, hotspot_workload,
+             dict(num_hotspots=4, queries_per_hotspot=5, seed=3)),
+            (uniform_stream, uniform_workload,
+             dict(num_queries=25, seed=3)),
+            (zipfian_stream, zipfian_workload,
+             dict(num_queries=25, skew=1.5, seed=3)),
+        ):
+            stream = stream_fn(graph, **kwargs)
+            assert iter(stream) is stream  # a true generator, no len()
+            streamed = [(type(q), q.node) for q in stream]
+            listed = [(type(q), q.node) for q in list_fn(graph, **kwargs)]
+            assert streamed == listed
+
+    def test_stream_validation_is_eager(self, graph):
+        # Bad arguments must fail at call time, not at first consumption.
+        with pytest.raises(ValueError):
+            hotspot_stream(graph, num_hotspots=0, queries_per_hotspot=5)
+        with pytest.raises(ValueError):
+            zipfian_stream(graph, skew=0.5)
+        with pytest.raises(ValueError):
+            uniform_stream(graph, num_queries=0)
+
+    def test_interleave_exhausts_all_streams(self, graph):
+        mixed = list(interleave([
+            uniform_stream(graph, num_queries=20, mix=("aggregation",),
+                           seed=1),
+            zipfian_stream(graph, num_queries=30, skew=1.5, mix=("walk",),
+                           seed=2),
+        ], seed=5))
+        assert len(mixed) == 50
+        kinds = {type(q) for q in mixed}
+        assert kinds == {NeighborAggregationQuery, RandomWalkQuery}
+        # Deterministic for a fixed seed.
+        again = list(interleave([
+            uniform_stream(graph, num_queries=20, mix=("aggregation",),
+                           seed=1),
+            zipfian_stream(graph, num_queries=30, skew=1.5, mix=("walk",),
+                           seed=2),
+        ], seed=5))
+        assert [(type(q), q.node) for q in mixed] == [
+            (type(q), q.node) for q in again
+        ]
+
+    def test_interleave_rejects_empty(self):
+        with pytest.raises(ValueError):
+            interleave([])
 
 
 class TestZipfianWorkload:
