@@ -1,0 +1,40 @@
+"""Six-operator mixed workload through the registry (beyond the paper).
+
+The registry's end-to-end benchmark: all six built-in operators — the
+paper's three plus PPR, batched k-source reachability and neighborhood
+sampling — interleaved into one stream and served under static and
+adaptive routing, with a per-(scheme, operator) breakdown artifact.
+"""
+
+from repro.bench.operator_mix import ALL_OPERATORS, OPERATOR_MIX_SCHEMES, operator_mix
+
+
+def test_operator_mix(benchmark):
+    result = benchmark.pedantic(operator_mix, rounds=1, iterations=1)
+
+    per_operator = result["per_operator"]
+    assert set(per_operator) == set(OPERATOR_MIX_SCHEMES)
+
+    # Every operator completed under every scheme — including adaptive,
+    # whose per-class arms must classify and route all six.
+    for routing in OPERATOR_MIX_SCHEMES:
+        breakdown = per_operator[routing]
+        assert set(ALL_OPERATORS) <= set(breakdown)
+        for name in ALL_OPERATORS:
+            assert breakdown[name]["queries"] > 0
+            assert breakdown[name]["mean_response_ms"] > 0
+    counts = {
+        routing: sum(int(stats["queries"]) for stats in breakdown.values())
+        for routing, breakdown in per_operator.items()
+    }
+    # Identical workload per scheme: nothing dropped, nothing duplicated.
+    assert len(set(counts.values())) == 1
+    assert counts["adaptive"] == result["total_queries"]
+
+    # The adaptive run adapted: arms were exercised and commitments made
+    # per query class (all three classes appear in the six-operator mix).
+    assert result["snapshot"]["mode"] == "committed"
+    assert set(result["snapshot"]["committed"]) == {
+        "point", "walk", "traversal",
+    }
+    assert result["per_arm"], "adaptive must record per-arm decisions"

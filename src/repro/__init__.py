@@ -34,8 +34,12 @@ from .core import (
     GRoutingCluster,
     GraphAssets,
     GraphService,
+    KSourceReachabilityQuery,
     NeighborAggregationQuery,
+    NeighborhoodSampleQuery,
+    PersonalizedPageRankQuery,
     QueryIdAllocator,
+    QueryOperator,
     QuerySession,
     RandomWalkQuery,
     ReachabilityQuery,
@@ -53,7 +57,7 @@ from .costs import (
     NetworkModel,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ClusterConfig",
@@ -65,9 +69,13 @@ __all__ = [
     "GraphAssets",
     "GraphService",
     "INFINIBAND",
+    "KSourceReachabilityQuery",
     "NeighborAggregationQuery",
+    "NeighborhoodSampleQuery",
     "NetworkModel",
+    "PersonalizedPageRankQuery",
     "QueryIdAllocator",
+    "QueryOperator",
     "QuerySession",
     "RandomWalkQuery",
     "ReachabilityQuery",

@@ -108,11 +108,11 @@ def format_table(title: str, headers: Sequence[str],
     sep = "-+-".join("-" * w for w in widths)
     lines = [
         f"== {title} ==",
-        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)),
         sep,
     ]
     for row in text_rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -1,0 +1,123 @@
+"""Six-operator mixed workload: the open operator set under one router.
+
+The adaptive-routing benchmark mixes the paper's three query types; this
+one interleaves all six registered operators — the original three plus
+personalized PageRank, batched k-source reachability and neighborhood
+sampling — into one arrival stream and serves it under static and
+adaptive routing. It is the registry's end-to-end proof: every operator
+flows through the same engine dispatch, routing-key extraction (k_reach
+routes on all k anchors), per-class adaptive arms and per-operator
+reporting, and the artifact (``bench_results/operator_mix.json``) breaks
+response times down per (scheme, operator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..core import GraphService
+from ..core.queries import Query
+from ..workloads import (
+    hotspot_stream,
+    interleave,
+    k_reach_stream,
+    ppr_stream,
+    sample_stream,
+    uniform_stream,
+    zipfian_stream,
+)
+from .adaptive import SUBMIT_BATCH
+from .experiments import scheme_config
+from .harness import ExperimentContext, emit, get_context
+
+#: Schemes compared on the six-operator mixture (adaptive is the headline).
+OPERATOR_MIX_SCHEMES = ("hash", "embed", "adaptive")
+
+#: Every registered built-in operator, in catalog order.
+ALL_OPERATORS = ("aggregation", "walk", "reachability", "ppr", "k_reach",
+                 "sample")
+
+
+def operator_mix_workload(ctx: ExperimentContext, seed: int = 17) -> List[Query]:
+    """One interleaved arrival stream over all six built-in operators.
+
+    Each family keeps its production shape: hotspot-local traversals and
+    source batches, zipf-skewed walks and PPR seeds, uniform point
+    lookups and GNN sampling seeds.
+    """
+    graph, csr = ctx.graph, ctx.assets.csr_both
+    streams = [
+        hotspot_stream(graph, num_hotspots=40, queries_per_hotspot=10,
+                       radius=2, hops=2, mix=("aggregation",), seed=seed,
+                       csr=csr),
+        # Uniform 1-hop aggregations: the `point` class, so the adaptive
+        # arms see all three query classes in one mixture.
+        uniform_stream(graph, num_queries=500, hops=1, mix=("aggregation",),
+                       seed=seed + 7, csr=csr),
+        zipfian_stream(graph, num_queries=900, hops=4, skew=2.0,
+                       mix=("walk",), seed=seed + 1, csr=csr),
+        hotspot_stream(graph, num_hotspots=40, queries_per_hotspot=10,
+                       radius=2, hops=3, mix=("reachability",), seed=seed + 2,
+                       csr=csr),
+        ppr_stream(graph, num_queries=500, walks=4, steps=4, skew=2.0,
+                   seed=seed + 3, csr=csr),
+        k_reach_stream(graph, num_queries=300, num_sources=4, hops=3,
+                       radius=2, seed=seed + 4, csr=csr),
+        sample_stream(graph, num_queries=400, fanouts=(8, 4), seed=seed + 5,
+                      csr=csr),
+    ]
+    return list(interleave(streams, seed=seed + 6))
+
+
+def operator_mix(
+    dataset: str = "webgraph", scale: Optional[float] = None,
+) -> Dict[str, object]:
+    """Per-(scheme, operator) response on the six-operator mixture."""
+    ctx = get_context(dataset, scale=scale)
+    queries = operator_mix_workload(ctx)
+    rows: List[List[object]] = []
+    per_operator: Dict[str, Dict[str, Dict[str, float]]] = {}
+    per_arm: Dict[str, int] = {}
+    snapshot: Dict[str, object] = {}
+    for routing in OPERATOR_MIX_SCHEMES:
+        with GraphService.open(
+            ctx.graph,
+            replace(scheme_config(routing), submit_batch=SUBMIT_BATCH),
+            assets=ctx.assets,
+        ) as service:
+            with service.session() as session:
+                session.stream(queries)
+                report = session.report()
+            if routing == "adaptive":
+                snapshot = service.strategy.snapshot()
+                per_arm = report.per_arm_counts()
+        breakdown = report.per_operator_stats()
+        per_operator[routing] = breakdown
+        rows.append([
+            routing, "(all)", len(report.records),
+            round(report.mean_response_time() * 1e6, 2),
+            round(report.percentile_response_time(95) * 1e6, 2),
+            round(report.cache_hit_rate(), 3),
+        ])
+        for name in ALL_OPERATORS:
+            stats = breakdown.get(name, {})
+            rows.append([
+                routing, name, int(stats.get("queries", 0)),
+                round(float(stats.get("mean_response_ms", 0.0)) * 1e3, 2),
+                round(float(stats.get("p95_response_ms", 0.0)) * 1e3, 2),
+                "",
+            ])
+    emit(
+        "Six-operator mixed workload (response times in µs)",
+        ["routing", "operator", "queries", "mean", "p95", "hit rate"],
+        rows,
+        "operator_mix",
+    )
+    return {
+        "rows": rows,
+        "per_operator": per_operator,
+        "per_arm": per_arm,
+        "snapshot": snapshot,
+        "total_queries": len(queries),
+    }

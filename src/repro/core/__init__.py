@@ -1,13 +1,25 @@
-"""gRouting core: decoupled cluster, router, processors, smart routing."""
+"""gRouting core: decoupled cluster, router, processors, smart routing,
+and the open query-operator registry."""
 
 from .assets import GraphAssets
 from .cache import CacheStats, ProcessorCache
 from .cluster import GRoutingCluster, run_workload
 from .metrics import QueryRecord, QueryStats, WorkloadReport
+from .operators import (
+    OperatorRegistry,
+    QueryOperator,
+    UnknownOperatorError,
+    UnknownQueryTypeError,
+    default_registry,
+    gather_nodes,
+)
 from .processor import QueryProcessor
 from .queries import (
     QUERY_CLASSES,
+    KSourceReachabilityQuery,
     NeighborAggregationQuery,
+    NeighborhoodSampleQuery,
+    PersonalizedPageRankQuery,
     Query,
     QueryIdAllocator,
     RandomWalkQuery,
@@ -42,13 +54,18 @@ __all__ = [
     "GraphAssets",
     "GraphService",
     "HashRouting",
+    "KSourceReachabilityQuery",
     "LandmarkRouting",
     "NeighborAggregationQuery",
+    "NeighborhoodSampleQuery",
     "NextReadyRouting",
+    "OperatorRegistry",
+    "PersonalizedPageRankQuery",
     "ProcessorCache",
     "QUERY_CLASSES",
     "Query",
     "QueryIdAllocator",
+    "QueryOperator",
     "QueryProcessor",
     "QueryRecord",
     "QuerySession",
@@ -59,7 +76,11 @@ __all__ = [
     "Router",
     "RoutingFeedback",
     "RoutingStrategy",
+    "UnknownOperatorError",
+    "UnknownQueryTypeError",
     "WorkloadReport",
+    "default_registry",
+    "gather_nodes",
     "query_class",
     "query_ids_from",
     "reset_query_ids",

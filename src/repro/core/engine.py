@@ -1,255 +1,42 @@
-"""Query execution engine: the work a query processor does per query.
+"""Compatibility shim over the :mod:`repro.core.operators` package.
 
-Each executor is a simulation process combining:
+The query engine used to live here as one module with an ``isinstance``
+dispatch chain; it is now split into the operator package, where every
+query type registers its executor, cost class, routing-key extractor and
+workload factory (see :mod:`repro.core.operators.registry`). This module
+keeps the historical import surface working:
 
-1. **cache probes** over the nodes the traversal touches (lookup cost),
-2. **storage fetches** for misses — one multiget per owning storage server,
-   issued in parallel, each paying network round-trip + server queueing,
-3. **cache admission** of fetched records (insert cost),
-4. **compute** proportional to the records scanned.
+* :func:`execute_query` — now registry dispatch; unknown query types
+  raise :class:`~repro.core.operators.registry.UnknownQueryTypeError`
+  (a ``TypeError``) naming every registered operator;
+* :func:`gather_nodes` — the shared record-gathering primitive
+  (``operators/gather.py``);
+* the per-type executors — ``operators/traversals.py``,
+  ``operators/walks.py`` and ``operators/sampling.py``.
 
-Topology comes from the shared read-only CSR views in
-:class:`~repro.core.assets.GraphAssets`; which records are cached, and all
-timing, is per-processor simulated state.
+New code should import from :mod:`repro.core.operators` directly.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-import numpy as np
-
-from .metrics import QueryStats
-from .queries import (
-    NeighborAggregationQuery,
-    Query,
-    RandomWalkQuery,
-    ReachabilityQuery,
+from .operators import (
+    execute_aggregation,
+    execute_k_source_reachability,
+    execute_neighborhood_sample,
+    execute_ppr,
+    execute_query,
+    execute_random_walk,
+    execute_reachability,
+    gather_nodes,
 )
 
-if TYPE_CHECKING:  # pragma: no cover
-    from .processor import QueryProcessor
-
-_REQUEST_HEADER_BYTES = 24
-_PER_KEY_REQUEST_BYTES = 8
-_RESPONSE_HEADER_BYTES = 16
-
-
-def _server_fetch(processor: "QueryProcessor", server_id: int, num_keys: int,
-                  nbytes: int):
-    """Round trip to one storage server: request out, service, payload back."""
-    env = processor.env
-    network = processor.costs.network
-    request_bytes = _REQUEST_HEADER_BYTES + _PER_KEY_REQUEST_BYTES * num_keys
-    yield env.timeout(network.transfer_time(request_bytes))
-    server = processor.tier.servers[server_id]
-    yield env.process(server.serve_process(num_keys, nbytes))
-    yield env.timeout(network.transfer_time(_RESPONSE_HEADER_BYTES + nbytes))
-
-
-def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
-                 stats: QueryStats, count_in_stats: bool = True):
-    """Make the records of ``nodes`` (compact indices) locally available.
-
-    Probes the processor cache, fetches misses from the storage tier
-    (grouped per owning server, in parallel) and admits them. Updates
-    ``stats`` unless ``count_in_stats`` is False (used for the query node
-    itself, which Eq. 8 excludes from hit/miss accounting).
-    """
-    env = processor.env
-    costs = processor.costs
-    cache = processor.cache
-    sizes = processor.assets.record_sizes
-
-    if processor.use_cache:
-        missed = cache.get_many(nodes.tolist())
-        lookup_time = costs.cache.lookup * len(nodes)
-        if lookup_time > 0:
-            yield env.timeout(lookup_time)
-    else:
-        missed = nodes.tolist()
-
-    num_hits = len(nodes) - len(missed)
-    if count_in_stats:
-        stats.cache_hits += num_hits
-        stats.cache_misses += len(missed)
-        stats.nodes_touched += len(nodes)
-
-    if missed:
-        missed_arr = np.asarray(missed, dtype=np.int64)
-        owners = processor.owner_of[missed_arr]
-        miss_sizes = sizes[missed_arr]
-        num_servers = processor.tier.num_servers
-        counts = np.bincount(owners, minlength=num_servers)
-        byte_sums = np.bincount(owners, weights=miss_sizes, minlength=num_servers)
-        fetches = [
-            env.process(
-                _server_fetch(processor, int(sid), int(counts[sid]),
-                              int(byte_sums[sid]))
-            )
-            for sid in np.nonzero(counts)[0]
-        ]
-        total_bytes = int(byte_sums.sum())
-        if count_in_stats:
-            stats.bytes_fetched += total_bytes
-            stats.storage_requests += len(fetches)
-        yield env.all_of(fetches)
-
-        if processor.use_cache:
-            cache.put_many(zip(missed, miss_sizes.tolist()))
-            insert_time = costs.cache.insert * len(missed)
-            if insert_time > 0:
-                yield env.timeout(insert_time)
-
-
-def execute_aggregation(processor: "QueryProcessor",
-                        query: NeighborAggregationQuery):
-    """h-hop neighbor aggregation: fetch every record within h hops."""
-    env = processor.env
-    csr = processor.assets.csr_both
-    stats = QueryStats()
-    source = processor.assets.compact[query.node]
-
-    visited = np.zeros(csr.num_nodes, dtype=bool)
-    visited[source] = True
-    frontier = np.array([source], dtype=np.int64)
-    yield env.process(gather_nodes(processor, frontier, stats,
-                                   count_in_stats=False))
-
-    total = 0
-    for _hop in range(query.hops):
-        neighbors = csr.gather_neighbors(frontier)
-        if neighbors.size == 0:
-            break
-        fresh = np.unique(neighbors[~visited[neighbors]])
-        if fresh.size == 0:
-            break
-        visited[fresh] = True
-        total += int(fresh.size)
-        yield env.process(gather_nodes(processor, fresh, stats))
-        compute = processor.costs.compute.per_node * fresh.size
-        if compute > 0:
-            yield env.timeout(compute)
-        frontier = fresh
-
-    stats.result = total
-    return stats
-
-
-def execute_random_walk(processor: "QueryProcessor", query: RandomWalkQuery):
-    """h-step random walk with restart; touches one record per step."""
-    env = processor.env
-    csr = processor.assets.csr_both
-    stats = QueryStats()
-    source = processor.assets.compact[query.node]
-    rng = np.random.default_rng((query.seed, query.node))
-
-    current = source
-    path_length = 0
-    yield env.process(gather_nodes(
-        processor, np.array([source], dtype=np.int64), stats,
-        count_in_stats=False,
-    ))
-    for _step in range(query.steps):
-        row = csr.neighbors_of(current)
-        if row.size == 0 or rng.random() < query.restart_prob:
-            current = source
-        else:
-            current = int(row[rng.integers(0, row.size)])
-            yield env.process(gather_nodes(
-                processor, np.array([current], dtype=np.int64), stats,
-            ))
-        path_length += 1
-        walk_cost = processor.costs.compute.per_walk_step
-        if walk_cost > 0:
-            yield env.timeout(walk_cost)
-
-    stats.result = path_length
-    return stats
-
-
-def execute_reachability(processor: "QueryProcessor",
-                         query: ReachabilityQuery):
-    """h-hop reachability via bidirectional BFS (forward out / backward in)."""
-    env = processor.env
-    assets = processor.assets
-    stats = QueryStats()
-    source = assets.compact[query.node]
-    target = assets.compact.get(query.target)
-    if target is None:
-        stats.result = False
-        return stats
-    if source == target:
-        stats.result = True
-        return stats
-
-    csr_out, csr_in = assets.csr_out, assets.csr_in
-    n = csr_out.num_nodes
-    fwd_visited = np.zeros(n, dtype=bool)
-    bwd_visited = np.zeros(n, dtype=bool)
-    fwd_visited[source] = True
-    bwd_visited[target] = True
-    fwd_frontier = np.array([source], dtype=np.int64)
-    bwd_frontier = np.array([target], dtype=np.int64)
-
-    forward_budget = (query.hops + 1) // 2
-    backward_budget = query.hops // 2
-    found = False
-
-    yield env.process(gather_nodes(processor, fwd_frontier, stats,
-                                   count_in_stats=False))
-    yield env.process(gather_nodes(processor, bwd_frontier, stats))
-
-    while (forward_budget or backward_budget) and not found:
-        # Expand the cheaper side first (classic bidirectional heuristic).
-        expand_forward = forward_budget > 0 and (
-            backward_budget == 0 or fwd_frontier.size <= bwd_frontier.size
-        )
-        if expand_forward:
-            csr, frontier, visited, other = (
-                csr_out, fwd_frontier, fwd_visited, bwd_visited,
-            )
-            forward_budget -= 1
-        else:
-            csr, frontier, visited, other = (
-                csr_in, bwd_frontier, bwd_visited, fwd_visited,
-            )
-            backward_budget -= 1
-
-        neighbors = csr.gather_neighbors(frontier)
-        fresh = (
-            np.unique(neighbors[~visited[neighbors]])
-            if neighbors.size
-            else np.empty(0, dtype=np.int64)
-        )
-        if fresh.size:
-            visited[fresh] = True
-            if other[fresh].any():
-                found = True
-            yield env.process(gather_nodes(processor, fresh, stats))
-            compute = processor.costs.compute.per_node * fresh.size
-            if compute > 0:
-                yield env.timeout(compute)
-        if expand_forward:
-            fwd_frontier = fresh
-        else:
-            bwd_frontier = fresh
-        if fresh.size == 0 and (
-            (expand_forward and backward_budget == 0)
-            or (not expand_forward and forward_budget == 0)
-        ):
-            break
-
-    stats.result = found
-    return stats
-
-
-def execute_query(processor: "QueryProcessor", query: Query):
-    """Dispatch on query type; returns the engine process' stats."""
-    if isinstance(query, NeighborAggregationQuery):
-        return execute_aggregation(processor, query)
-    if isinstance(query, RandomWalkQuery):
-        return execute_random_walk(processor, query)
-    if isinstance(query, ReachabilityQuery):
-        return execute_reachability(processor, query)
-    raise TypeError(f"unsupported query type: {type(query).__name__}")
+__all__ = [
+    "execute_aggregation",
+    "execute_k_source_reachability",
+    "execute_neighborhood_sample",
+    "execute_ppr",
+    "execute_query",
+    "execute_random_walk",
+    "execute_reachability",
+    "gather_nodes",
+]

@@ -48,6 +48,8 @@ class QueryRecord:
     routed_via: str = ""
     #: Cost class of the query (see :func:`repro.core.queries.query_class`).
     query_class: str = ""
+    #: Registered operator name (``kind`` keeps the raw query type name).
+    operator: str = ""
 
     @property
     def response_time(self) -> float:
@@ -147,7 +149,7 @@ class WorkloadReport:
         t0, t1 = self.time_bounds()
         edges = [t0 + (t1 - t0) * i / count for i in range(count + 1)]
         edges[-1] = math.nextafter(t1, math.inf)
-        return [self.window(a, b) for a, b in zip(edges, edges[1:])]
+        return [self.window(a, b) for a, b in zip(edges, edges[1:], strict=False)]
 
     def per_window_stats(self, count: int) -> List[Dict[str, object]]:
         """Steady-state view: headline + per-class stats per time window.
@@ -171,27 +173,44 @@ class WorkloadReport:
             })
         return stats
 
-    # -- per-class / per-arm stats -------------------------------------------
-    def per_class_stats(self) -> Dict[str, Dict[str, float]]:
-        """Response-time stats grouped by query class (point/walk/traversal)."""
+    # -- per-class / per-operator / per-arm stats ------------------------------
+    def _grouped_response_stats(self, key) -> Dict[str, Dict[str, float]]:
+        """Counts + mean/p95 response time grouped by ``key(record)``."""
         groups: Dict[str, List[float]] = {}
         for record in self.records:
-            groups.setdefault(record.query_class or "unknown", []).append(
-                record.response_time
-            )
+            groups.setdefault(key(record), []).append(record.response_time)
         stats: Dict[str, Dict[str, float]] = {}
-        for cls, times in sorted(groups.items()):
+        for name, times in sorted(groups.items()):
             times.sort()
             rank = min(
                 len(times) - 1,
                 max(0, int(round(0.95 * (len(times) - 1)))),
             )
-            stats[cls] = {
+            stats[name] = {
                 "queries": len(times),
                 "mean_response_ms": sum(times) / len(times) * 1e3,
                 "p95_response_ms": times[rank] * 1e3,
             }
         return stats
+
+    def per_class_stats(self) -> Dict[str, Dict[str, float]]:
+        """Response-time stats grouped by query class (point/walk/traversal)."""
+        return self._grouped_response_stats(
+            lambda record: record.query_class or "unknown"
+        )
+
+    def per_operator_stats(self) -> Dict[str, Dict[str, float]]:
+        """Counts + response-time stats grouped by registered operator name.
+
+        The per-query-type companion to :meth:`per_class_stats`: classes
+        aggregate operators of similar cost, this breaks a mixed workload
+        down to the individual operator (``aggregation``, ``walk``,
+        ``ppr``, ...). Records from before the operator field existed (or
+        from unregistered types) group under their raw query type name.
+        """
+        return self._grouped_response_stats(
+            lambda record: record.operator or record.kind
+        )
 
     def per_arm_counts(self) -> Dict[str, int]:
         """How many queries each routing decision label handled."""

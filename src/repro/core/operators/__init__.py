@@ -1,0 +1,132 @@
+"""The query-operator package: registry + the six built-in operators.
+
+Importing this package registers the built-in operator catalog on the
+:data:`~repro.core.operators.registry.default_registry`:
+
+================  ============================  ==========  ================
+name              query type                    cost class  routing keys
+================  ============================  ==========  ================
+``aggregation``   NeighborAggregationQuery      point/trav  ``(node,)``
+``walk``          RandomWalkQuery               walk        ``(node,)``
+``reachability``  ReachabilityQuery             traversal   ``(node,)``
+``ppr``           PersonalizedPageRankQuery     walk        ``(node,)``
+``k_reach``       KSourceReachabilityQuery      traversal   all k sources
+``sample``        NeighborhoodSampleQuery       traversal   ``(node,)``
+================  ============================  ==========  ================
+
+(``aggregation`` derives its class from depth: 0/1-hop probes are
+``point``, deeper ones ``traversal``.)
+
+Custom operators register through the same door — see
+``examples/custom_operator.py`` for an end-to-end registration that never
+touches ``repro/core``.
+"""
+
+from ..queries import (
+    KSourceReachabilityQuery,
+    NeighborAggregationQuery,
+    NeighborhoodSampleQuery,
+    PersonalizedPageRankQuery,
+    RandomWalkQuery,
+    ReachabilityQuery,
+)
+from .gather import gather_nodes
+from .registry import (
+    OperatorRegistry,
+    QueryOperator,
+    UnknownOperatorError,
+    UnknownQueryTypeError,
+    default_registry,
+    execute_query,
+    operator_name,
+    register,
+    registered_names,
+    routing_keys,
+    unregister,
+)
+from .sampling import execute_neighborhood_sample, make_neighborhood_sample
+from .traversals import (
+    execute_aggregation,
+    execute_k_source_reachability,
+    execute_reachability,
+    make_aggregation,
+    make_k_source_reachability,
+    make_reachability,
+)
+from .walks import execute_ppr, execute_random_walk, make_ppr, make_walk
+
+__all__ = [
+    "OperatorRegistry",
+    "QueryOperator",
+    "UnknownOperatorError",
+    "UnknownQueryTypeError",
+    "default_registry",
+    "execute_aggregation",
+    "execute_k_source_reachability",
+    "execute_neighborhood_sample",
+    "execute_ppr",
+    "execute_query",
+    "execute_random_walk",
+    "execute_reachability",
+    "gather_nodes",
+    "operator_name",
+    "register",
+    "registered_names",
+    "routing_keys",
+    "unregister",
+]
+
+
+def _aggregation_class(query: NeighborAggregationQuery) -> str:
+    # 0/1-hop aggregations touch O(degree) records at most; deeper ones
+    # expand a frontier (the cache-hungry regime).
+    return "point" if query.hops <= 1 else "traversal"
+
+
+def _register_builtins() -> None:
+    register(QueryOperator(
+        name="aggregation",
+        query_type=NeighborAggregationQuery,
+        executor=execute_aggregation,
+        cost_class=_aggregation_class,
+        workload_factory=make_aggregation,
+    ))
+    register(QueryOperator(
+        name="walk",
+        query_type=RandomWalkQuery,
+        executor=execute_random_walk,
+        cost_class="walk",
+        workload_factory=make_walk,
+    ))
+    register(QueryOperator(
+        name="reachability",
+        query_type=ReachabilityQuery,
+        executor=execute_reachability,
+        cost_class="traversal",
+        workload_factory=make_reachability,
+    ))
+    register(QueryOperator(
+        name="ppr",
+        query_type=PersonalizedPageRankQuery,
+        executor=execute_ppr,
+        cost_class="walk",
+        workload_factory=make_ppr,
+    ))
+    register(QueryOperator(
+        name="k_reach",
+        query_type=KSourceReachabilityQuery,
+        executor=execute_k_source_reachability,
+        cost_class="traversal",
+        routing_keys=lambda query: query.all_sources(),
+        workload_factory=make_k_source_reachability,
+    ))
+    register(QueryOperator(
+        name="sample",
+        query_type=NeighborhoodSampleQuery,
+        executor=execute_neighborhood_sample,
+        cost_class="traversal",
+        workload_factory=make_neighborhood_sample,
+    ))
+
+
+_register_builtins()

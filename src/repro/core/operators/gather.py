@@ -1,0 +1,98 @@
+"""Shared record-gathering machinery every operator executor builds on.
+
+An executor is a simulation process combining:
+
+1. **cache probes** over the nodes the traversal touches (lookup cost),
+2. **storage fetches** for misses — one multiget per owning storage server,
+   issued in parallel, each paying network round-trip + server queueing,
+3. **cache admission** of fetched records (insert cost),
+4. **compute** proportional to the records scanned.
+
+Topology comes from the shared read-only CSR views in
+:class:`~repro.core.assets.GraphAssets`; which records are cached, and all
+timing, is per-processor simulated state. :func:`gather_nodes` is the one
+primitive custom operators need — everything else is plain numpy over the
+CSR views.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..metrics import QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..processor import QueryProcessor
+
+_REQUEST_HEADER_BYTES = 24
+_PER_KEY_REQUEST_BYTES = 8
+_RESPONSE_HEADER_BYTES = 16
+
+
+def _server_fetch(processor: "QueryProcessor", server_id: int, num_keys: int,
+                  nbytes: int):
+    """Round trip to one storage server: request out, service, payload back."""
+    env = processor.env
+    network = processor.costs.network
+    request_bytes = _REQUEST_HEADER_BYTES + _PER_KEY_REQUEST_BYTES * num_keys
+    yield env.timeout(network.transfer_time(request_bytes))
+    server = processor.tier.servers[server_id]
+    yield env.process(server.serve_process(num_keys, nbytes))
+    yield env.timeout(network.transfer_time(_RESPONSE_HEADER_BYTES + nbytes))
+
+
+def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
+                 stats: QueryStats, count_in_stats: bool = True):
+    """Make the records of ``nodes`` (compact indices) locally available.
+
+    Probes the processor cache, fetches misses from the storage tier
+    (grouped per owning server, in parallel) and admits them. Updates
+    ``stats`` unless ``count_in_stats`` is False (used for the query node
+    itself, which Eq. 8 excludes from hit/miss accounting).
+    """
+    env = processor.env
+    costs = processor.costs
+    cache = processor.cache
+    sizes = processor.assets.record_sizes
+
+    if processor.use_cache:
+        missed = cache.get_many(nodes.tolist())
+        lookup_time = costs.cache.lookup * len(nodes)
+        if lookup_time > 0:
+            yield env.timeout(lookup_time)
+    else:
+        missed = nodes.tolist()
+
+    num_hits = len(nodes) - len(missed)
+    if count_in_stats:
+        stats.cache_hits += num_hits
+        stats.cache_misses += len(missed)
+        stats.nodes_touched += len(nodes)
+
+    if missed:
+        missed_arr = np.asarray(missed, dtype=np.int64)
+        owners = processor.owner_of[missed_arr]
+        miss_sizes = sizes[missed_arr]
+        num_servers = processor.tier.num_servers
+        counts = np.bincount(owners, minlength=num_servers)
+        byte_sums = np.bincount(owners, weights=miss_sizes, minlength=num_servers)
+        fetches = [
+            env.process(
+                _server_fetch(processor, int(sid), int(counts[sid]),
+                              int(byte_sums[sid]))
+            )
+            for sid in np.nonzero(counts)[0]
+        ]
+        total_bytes = int(byte_sums.sum())
+        if count_in_stats:
+            stats.bytes_fetched += total_bytes
+            stats.storage_requests += len(fetches)
+        yield env.all_of(fetches)
+
+        if processor.use_cache:
+            cache.put_many(zip(missed, miss_sizes.tolist(), strict=True))
+            insert_time = costs.cache.insert * len(missed)
+            if insert_time > 0:
+                yield env.timeout(insert_time)

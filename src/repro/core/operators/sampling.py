@@ -1,0 +1,82 @@
+"""GNN-style neighborhood sampling operator.
+
+``sample`` draws a layered fanout sample around a seed node — the access
+pattern of GraphSAGE-style minibatch training: per layer *i*, up to
+``fanouts[i]`` neighbors of every frontier node. It expands a frontier
+like an aggregation but touches a bounded, randomized subset of it, so
+its cost sits between a walk and a full traversal (classified
+``traversal``: the frontier still compounds across layers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..metrics import QueryStats
+from ..queries import NeighborhoodSampleQuery
+from .gather import gather_nodes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..processor import QueryProcessor
+
+
+def execute_neighborhood_sample(processor: "QueryProcessor",
+                                query: NeighborhoodSampleQuery):
+    """Layered fanout sampling: gather each layer's newly-sampled records."""
+    env = processor.env
+    csr = processor.assets.csr_both
+    stats = QueryStats()
+    source = processor.assets.compact[query.node]
+    rng = np.random.default_rng((query.seed, query.node))
+
+    sampled = np.zeros(csr.num_nodes, dtype=bool)
+    sampled[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    yield env.process(gather_nodes(processor, frontier, stats,
+                                   count_in_stats=False))
+
+    total = 0
+    for fanout in query.fanouts:
+        picks = []
+        for u in frontier:
+            row = csr.neighbors_of(int(u))
+            if row.size == 0:
+                continue
+            if row.size <= fanout:
+                picks.append(row)
+            else:
+                picks.append(rng.choice(row, size=fanout, replace=False))
+        if not picks:
+            break
+        layer = np.unique(np.concatenate(picks))
+        fresh = layer[~sampled[layer]]
+        if fresh.size:
+            sampled[fresh] = True
+            total += int(fresh.size)
+            yield env.process(gather_nodes(processor, fresh, stats))
+            compute = processor.costs.compute.per_node * fresh.size
+            if compute > 0:
+                yield env.timeout(compute)
+        frontier = layer
+
+    stats.result = total
+    return stats
+
+
+# -- workload factory ---------------------------------------------------------
+#: Fanout of the first sampled layer; deeper layers halve it (min 2).
+SAMPLE_BASE_FANOUT = 8
+
+
+def make_neighborhood_sample(node: int, query_id: int, hops: int,
+                             ball: np.ndarray, rng: np.random.Generator) -> NeighborhoodSampleQuery:
+    del ball
+    fanouts = tuple(
+        max(2, SAMPLE_BASE_FANOUT >> layer) for layer in range(max(1, hops))
+    )
+    return NeighborhoodSampleQuery(
+        node=node, query_id=query_id, fanouts=fanouts,
+        seed=int(rng.integers(0, 2**31)),
+    )

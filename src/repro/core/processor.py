@@ -15,7 +15,7 @@ from ..sim import Environment, Store
 from ..storage.tier import StorageTier
 from .assets import GraphAssets
 from .cache import ProcessorCache
-from .engine import execute_query
+from .operators import execute_query
 
 if TYPE_CHECKING:  # pragma: no cover
     from .router import Router

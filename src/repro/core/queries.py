@@ -1,15 +1,21 @@
-"""The three h-hop traversal query types (§2.2).
+"""The built-in query families: the paper's three h-hop traversal types
+(§2.2) plus the multi-walk / multi-anchor / sampling extensions.
 
-Every query carries the node it starts from (``node``), which is the value
-routing strategies operate on, plus per-type parameters. Queries are frozen
-dataclasses so they can be hashed, logged and replayed.
+Every query carries the anchor node it starts from (``node``) plus
+per-type parameters; multi-anchor queries expose further anchors through
+their operator's routing-key extractor (see
+:mod:`repro.core.operators.registry`). Queries are frozen dataclasses so
+they can be hashed, logged and replayed. This module only *defines* the
+dataclasses — execution, classification and routing-key extraction are
+registered per type in :mod:`repro.core.operators`, which is what keeps
+the operator set open to new families.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 
 class QueryIdAllocator:
@@ -134,6 +140,70 @@ class ReachabilityQuery(Query):
     hops: int = 2
 
 
+@dataclass(frozen=True)
+class PersonalizedPageRankQuery(Query):
+    """Personalized PageRank support estimate for seed ``node``.
+
+    Monte-Carlo estimator: ``walks`` independent ``steps``-step random
+    walks with restart from the seed; the visit support approximates the
+    node's PPR mass distribution (the multi-walk sibling of
+    :class:`RandomWalkQuery`)."""
+
+    walks: int = 8
+    steps: int = 4
+    restart_prob: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.walks < 1 or self.steps < 1:
+            raise ValueError("walks and steps must be >= 1")
+
+
+@dataclass(frozen=True)
+class KSourceReachabilityQuery(Query):
+    """Batched k-source reachability: how many of the k sources —
+    ``node`` plus ``sources`` — reach ``target`` within ``hops`` directed
+    hops? One label-propagating BFS answers the whole batch, and the
+    batch's routing key exposes *all* k anchors to the router."""
+
+    sources: Tuple[int, ...] = ()
+    target: int = 0
+    hops: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(self.sources))
+        if len(self.all_sources()) > 64:
+            raise ValueError(
+                "at most 64 distinct sources per batch "
+                "(one uint64 label bit each)"
+            )
+
+    def all_sources(self) -> Tuple[int, ...]:
+        """The full deduplicated anchor set, primary anchor first."""
+        seen = {self.node}
+        anchors = [self.node]
+        for source in self.sources:
+            if source not in seen:
+                seen.add(source)
+                anchors.append(source)
+        return tuple(anchors)
+
+
+@dataclass(frozen=True)
+class NeighborhoodSampleQuery(Query):
+    """GNN-style layered neighborhood sample around ``node``: per layer
+    ``i``, up to ``fanouts[i]`` sampled neighbors of each frontier node
+    (the GraphSAGE minibatch access pattern)."""
+
+    fanouts: Tuple[int, ...] = (10, 5)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fanouts", tuple(self.fanouts))
+        if not self.fanouts or any(f < 1 for f in self.fanouts):
+            raise ValueError("fanouts must be a non-empty tuple of >= 1")
+
+
 #: The query-class "traffic light" tiers used by adaptive routing and the
 #: per-class metrics: cheap single-record probes, step-bounded walks, and
 #: frontier-expanding traversals.
@@ -141,17 +211,20 @@ QUERY_CLASSES = ("point", "walk", "traversal")
 
 
 def query_class(query: Query) -> str:
-    """Coarse cost class of a query, derived from its type and depth.
+    """Coarse cost class of a query, resolved through the operator registry.
 
-    * ``point`` — touches O(degree) records at most: 0/1-hop aggregations.
+    * ``point`` — touches O(degree) records at most: 0/1-hop aggregations
+      (and any unregistered query type).
     * ``walk`` — one record per step, locality limited to the walk path.
     * ``traversal`` — frontier expansion over h hops (multi-hop
-      aggregations and reachability probes), the cache-hungry class.
+      aggregations, reachability probes, neighborhood samples), the
+      cache-hungry class.
+
+    Each operator registers its class (or a callable deriving it from the
+    query's parameters) — see :mod:`repro.core.operators`.
     """
-    if isinstance(query, RandomWalkQuery):
-        return "walk"
-    if isinstance(query, NeighborAggregationQuery):
-        return "point" if query.hops <= 1 else "traversal"
-    if isinstance(query, ReachabilityQuery):
-        return "traversal"
-    return "point"
+    # Imported lazily: the operators package imports this module for the
+    # query dataclasses, so a top-level import here would be circular.
+    from .operators.registry import default_registry
+
+    return default_registry.classify(query)

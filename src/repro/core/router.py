@@ -16,6 +16,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..sim import Environment, Event
 from .metrics import QueryRecord, QueryStats
+from .operators.registry import default_registry, operator_name
 from .processor import QueryProcessor
 from .queries import Query, query_class
 from .routing.base import RoutingFeedback, RoutingStrategy
@@ -93,7 +94,7 @@ class Router:
         """Queued + in-flight queries per processor (the Eq. 3/7 load)."""
         return [
             len(queue) + (1 if busy is not None else 0)
-            for queue, busy in zip(self.queues, self.outstanding)
+            for queue, busy in zip(self.queues, self.outstanding, strict=True)
         ]
 
     def backlog(self) -> int:
@@ -148,6 +149,11 @@ class Router:
                     "reset_query_ids)"
                 )
             batch_ids.add(query.query_id)
+            # Unregistered query types fail *here*, synchronously, with the
+            # operator catalog in the message — inside a processor they
+            # would kill the worker process and surface as an opaque
+            # simulation deadlock.
+            default_registry.for_query(query)
         if self.done.triggered:
             self.done = self.env.event()
         for query in queries:
@@ -239,6 +245,7 @@ class Router:
             stats=stats,
             routed_via=info.routed_via,
             query_class=query_class(query),
+            operator=operator_name(query),
         )
         self.records.append(record)
         self.strategy.on_feedback(

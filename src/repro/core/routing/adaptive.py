@@ -47,6 +47,7 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..operators.registry import routing_keys
 from ..queries import Query, query_class
 from .base import BASE_DECISION_TIME, RoutingFeedback, RoutingStrategy
 
@@ -438,8 +439,12 @@ class AdaptiveRouting(RoutingStrategy):
         return False
 
     def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
+        # Both the class and the repeat signal resolve through the operator
+        # registry: the class feeds the per-class arms, and repeats are
+        # tracked on the primary anchor (multi-anchor queries re-visiting
+        # their lead anchor are repeats for placement purposes too).
         cls = query_class(query)
-        is_repeat = self._track_repeats(cls, query.node)
+        is_repeat = self._track_repeats(cls, routing_keys(query)[0])
         arm_name, in_audition = self._pick_arm(cls)
         self._assignments[query.query_id] = (
             cls, arm_name, in_audition, is_repeat,

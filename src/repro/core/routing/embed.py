@@ -6,6 +6,10 @@ A query goes to the processor whose EMA point is closest to the query
 node's coordinates, with the Eq. 7 load-balanced distance. The EMA adapts
 to workload shifts on its own, which is what lets embed routing "bypass
 the expensive graph partitioning and re-partitioning problems".
+
+Multi-anchor queries route by the centroid of their anchors' embedding
+coordinates — the batch goes to the processor whose traffic has centred
+on that region — and the same centroid feeds the EMA on dispatch.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ...embedding import GraphEmbedding, ProcessorEMATracker
+from ..operators.registry import routing_keys
 from ..queries import Query
 from .base import (
     BASE_DECISION_TIME,
@@ -44,18 +49,32 @@ class EmbedRouting(RoutingStrategy):
         )
         self.fallbacks = 0
 
+    def _anchor_point(self, keys: Sequence[int]) -> Optional[np.ndarray]:
+        """Embedding point for the anchor set: coords, or their centroid."""
+        points = []
+        for key in keys:
+            coords = self.embedding.coordinates_of(key)
+            if coords is not None:
+                points.append(coords)
+        if not points:
+            return None
+        if len(points) == 1:
+            return points[0]
+        return np.mean(np.stack(points), axis=0)
+
     def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
-        coords = self.embedding.coordinates_of(query.node)
+        keys = routing_keys(query)
+        coords = self._anchor_point(keys)
         if coords is None:
             self.fallbacks += 1
-            return query.node % self.num_processors
+            return keys[0] % self.num_processors
         distances = self.tracker.distances(coords)
         balanced = distances + np.asarray(loads, dtype=np.float64) / self.load_factor
         return int(np.argmin(balanced))
 
     def on_dispatch(self, query: Query, processor: int) -> None:
         """Fold the routed query's coordinates into the processor's EMA."""
-        coords = self.embedding.coordinates_of(query.node)
+        coords = self._anchor_point(routing_keys(query))
         if coords is not None:
             self.tracker.update(processor, coords)
 

@@ -3,12 +3,17 @@
 Repeats of the *same* query node land on the same processor (repeat
 locality) but nearby nodes scatter — no topology-aware locality. Query
 stealing at the router provides the load balancing (Eq. 1 discussion).
+
+Multi-anchor queries (several routing keys) go to the processor that owns
+the *plurality* of their anchors' hash slots, so a batch lands where most
+of its per-anchor repeat locality already lives.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..operators.registry import routing_keys
 from ..queries import Query
 from .base import BASE_DECISION_TIME, RoutingStrategy
 
@@ -22,7 +27,14 @@ class HashRouting(RoutingStrategy):
         self.num_processors = num_processors
 
     def choose(self, query: Query, _loads: Sequence[int]) -> Optional[int]:
-        return query.node % self.num_processors
+        keys = routing_keys(query)
+        if len(keys) == 1:
+            return keys[0] % self.num_processors
+        votes = [0] * self.num_processors
+        for key in keys:
+            votes[key % self.num_processors] += 1
+        # Plurality, ties broken deterministically by lowest index.
+        return max(range(self.num_processors), key=lambda p: (votes[p], -p))
 
     def decision_time(self, _num_processors: int) -> float:
         return BASE_DECISION_TIME

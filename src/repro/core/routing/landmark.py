@@ -5,6 +5,10 @@ any landmark assigned to processor p) and routes to the processor with the
 smallest load-balanced distance (Eq. 3). Nodes the index does not know
 (e.g. added after preprocessing, before their incremental indexing) fall
 back to hash routing.
+
+Multi-anchor queries average the per-anchor distance rows (over the
+anchors the index knows per processor), so the batch lands on the
+processor closest to the anchor set as a whole.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ...landmarks import LandmarkIndex
+from ..operators.registry import routing_keys
 from ..queries import Query
 from .base import (
     BASE_DECISION_TIME,
@@ -32,12 +37,35 @@ class LandmarkRouting(RoutingStrategy):
         self.load_factor = load_factor
         self.fallbacks = 0  # queries routed without landmark information
 
+    def _anchor_distances(self, keys: Sequence[int]) -> Optional[np.ndarray]:
+        """Per-processor distance row for the anchor set, or None.
+
+        One anchor keeps its row untouched (the classic single-node path);
+        several are combined entry-wise as the mean over the anchors whose
+        row is finite there, with ``inf`` where no anchor has coverage.
+        """
+        rows = []
+        for key in keys:
+            distances = self.index.processor_distances(key)
+            if distances is not None and np.isfinite(distances).any():
+                rows.append(distances)
+        if not rows:
+            return None
+        if len(rows) == 1:
+            return rows[0]
+        stacked = np.stack(rows)
+        finite = np.isfinite(stacked)
+        counts = finite.sum(axis=0)
+        sums = np.where(finite, stacked, 0.0).sum(axis=0)
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.inf)
+
     def choose(self, query: Query, loads: Sequence[int]) -> Optional[int]:
-        distances = self.index.processor_distances(query.node)
+        keys = routing_keys(query)
+        distances = self._anchor_distances(keys)
         num_processors = len(loads)
-        if distances is None or not np.isfinite(distances).any():
+        if distances is None:
             self.fallbacks += 1
-            return query.node % num_processors
+            return keys[0] % num_processors
         balanced = distances + np.asarray(loads, dtype=np.float64) / self.load_factor
         return int(np.argmin(balanced))
 

@@ -287,7 +287,7 @@ class GraphEmbedding:
         dists = np.asarray(vectors, dtype=np.float64).T.copy()  # (L, n_new)
         dists[~np.isfinite(dists)] = UNREACHABLE
         coords = lmds_triangulate(self.landmark_coords, dists)
-        for node_id, point in zip(node_ids, coords):
+        for node_id, point in zip(node_ids, coords, strict=True):
             if self.knows(node_id):
                 raise ValueError(f"node {node_id} already embedded")
             self._extra[int(node_id)] = point

@@ -38,7 +38,7 @@ def erdos_renyi(num_nodes: int, num_edges: int, seed=0) -> Graph:
         batch = max(1024, num_edges - placed)
         us = rng.integers(0, num_nodes, size=batch)
         vs = rng.integers(0, num_nodes, size=batch)
-        for u, v in zip(us, vs):
+        for u, v in zip(us, vs, strict=True):
             if u == v:
                 continue
             if graph.add_edge(int(u), int(v)):
@@ -117,7 +117,7 @@ def rmat(
             us = (us << 1) | (down | diag)
             vs = (vs << 1) | (right | diag)
         added = 0
-        for u, v in zip(us, vs):
+        for u, v in zip(us, vs, strict=True):
             if u != v and graph.add_edge(int(u), int(v)):
                 added += 1
         if added == 0:
@@ -182,7 +182,7 @@ def copying_model(
     for u in range(seed_size, num_nodes):
         prototype = out_lists[int(rng.integers(0, u))]
         targets: set[int] = set()
-        for slot in range(out_degree):
+        for _slot in range(out_degree):
             if prototype and rng.random() < copy_prob:
                 v = prototype[int(rng.integers(0, len(prototype)))]
             else:

@@ -55,6 +55,6 @@ def load_npz(path: PathLike) -> Graph:
     graph = Graph()
     for node in data["isolated"]:
         graph.add_node(int(node))
-    for u, v in zip(data["sources"], data["targets"]):
+    for u, v in zip(data["sources"], data["targets"], strict=True):
         graph.add_edge(int(u), int(v))
     return graph

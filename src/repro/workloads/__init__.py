@@ -1,12 +1,25 @@
-"""Query workload generators (hotspot, uniform, zipfian).
+"""Query workload generators (hotspot, uniform, zipfian + per-family).
 
 Each workload is available as a lazy ``*_stream`` generator (the session
 API's unit) and a materialised ``*_workload`` list (the one-shot
-harness's unit); :func:`interleave` composes streams.
+harness's unit); :func:`interleave` composes streams. The generic streams
+accept any registered query operator in their ``mix`` (see
+:mod:`repro.core.operators`); :mod:`~repro.workloads.families` adds
+dedicated streams shaping traffic for the extended families (``ppr``,
+``k_reach``, ``sample``).
 """
 
+from .families import (
+    k_reach_stream,
+    k_reach_workload,
+    ppr_stream,
+    ppr_workload,
+    sample_stream,
+    sample_workload,
+)
 from .hotspot import (
     DEFAULT_MIX,
+    FULL_MIX,
     hotspot_stream,
     hotspot_workload,
     interleave,
@@ -18,9 +31,16 @@ from .hotspot import (
 
 __all__ = [
     "DEFAULT_MIX",
+    "FULL_MIX",
     "hotspot_stream",
     "hotspot_workload",
     "interleave",
+    "k_reach_stream",
+    "k_reach_workload",
+    "ppr_stream",
+    "ppr_workload",
+    "sample_stream",
+    "sample_workload",
     "uniform_stream",
     "uniform_workload",
     "zipfian_stream",

@@ -4,7 +4,10 @@ The paper's workload: pick ``num_hotspots`` center nodes uniformly at
 random; around each center pick ``queries_per_hotspot`` query nodes within
 ``radius`` hops (so any two nodes of one hotspot are within ``2 * radius``
 hops of each other); group all of one hotspot's queries consecutively. The
-queries themselves are a uniform mixture of the three h-hop types.
+queries themselves are a uniform mixture over ``mix``, whose entries name
+registered query operators (default: the paper's three h-hop types;
+any operator registered with a workload factory — including custom ones —
+is a valid mix entry).
 
 Every workload comes in two forms: a ``*_stream`` generator — the unit the
 session API consumes, yielding queries lazily so a
@@ -21,17 +24,17 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.queries import (
-    NeighborAggregationQuery,
-    Query,
-    RandomWalkQuery,
-    ReachabilityQuery,
-    current_query_id_allocator,
-)
+from ..core.operators import default_registry
+from ..core.queries import Query, current_query_id_allocator
 from ..graph.csr import CSRGraph
 from ..graph.digraph import Graph
 
+#: The paper's uniform mixture of its three h-hop types.
 DEFAULT_MIX = ("aggregation", "walk", "reachability")
+
+#: Every built-in operator, original three first (see
+#: :mod:`repro.core.operators` for the catalog).
+FULL_MIX = ("aggregation", "walk", "reachability", "ppr", "k_reach", "sample")
 
 
 def _make_query(kind: str, node: int, hops: int, ball: np.ndarray,
@@ -39,20 +42,25 @@ def _make_query(kind: str, node: int, hops: int, ball: np.ndarray,
     # Ids are passed explicitly: lazy streams allocate from the allocator
     # captured at stream-creation time, so a stream built inside a
     # ``query_ids_from`` scope keeps its scoped ids even when consumed
-    # after the scope exits (generators run late).
-    if kind == "aggregation":
-        return NeighborAggregationQuery(node=node, query_id=query_id,
-                                        hops=hops)
-    if kind == "walk":
-        return RandomWalkQuery(node=node, query_id=query_id, steps=hops,
-                               seed=int(rng.integers(0, 2**31)))
-    if kind == "reachability":
-        # Target drawn from the same hotspot ball: realistic "is my nearby
-        # contact reachable" probes that keep the traversal local.
-        target = int(ball[rng.integers(0, len(ball))])
-        return ReachabilityQuery(node=node, query_id=query_id,
-                                 target=target, hops=hops)
-    raise ValueError(f"unknown query kind: {kind!r}")
+    # after the scope exits (generators run late). Construction itself is
+    # the operator's registered workload factory, so ``mix`` accepts any
+    # registered operator name — including ones added at runtime.
+    return default_registry.make(
+        kind, node=node, query_id=query_id, hops=hops, ball=ball, rng=rng,
+    )
+
+
+def _validate_mix(mix: Sequence[str]) -> None:
+    """Reject empty or unregistered mixes eagerly (before any generation)."""
+    if not mix:
+        raise ValueError("query mix cannot be empty")
+    for kind in mix:
+        # get() raises UnknownOperatorError (a ValueError) for unknown names.
+        if default_registry.get(kind).workload_factory is None:
+            raise ValueError(
+                f"operator {kind!r} has no workload factory; register one "
+                "to use it in a mix"
+            )
 
 
 def _bidirected_csr(graph: Graph, csr: Optional[CSRGraph]) -> CSRGraph:
@@ -83,8 +91,7 @@ def hotspot_stream(
         raise ValueError("hotspot counts must be positive")
     if radius < 0 or hops < 1:
         raise ValueError("radius must be >= 0 and hops >= 1")
-    if not mix:
-        raise ValueError("query mix cannot be empty")
+    _validate_mix(mix)
     csr = _bidirected_csr(graph, csr)
     degrees = csr.degrees()
     eligible = np.flatnonzero(degrees > 0)
@@ -143,6 +150,7 @@ def uniform_stream(
     """Stream queries on uniformly random nodes — no locality at all."""
     if num_queries < 1:
         raise ValueError("num_queries must be positive")
+    _validate_mix(mix)
     csr = _bidirected_csr(graph, csr)
     degrees = csr.degrees()
     eligible = csr.node_ids[degrees > 0]
@@ -191,6 +199,7 @@ def zipfian_stream(
         raise ValueError("num_queries must be positive")
     if skew <= 1.0:
         raise ValueError("skew must exceed 1.0 for a proper Zipf law")
+    _validate_mix(mix)
     csr = _bidirected_csr(graph, csr)
     degrees = csr.degrees()
     eligible = csr.node_ids[degrees > 0]

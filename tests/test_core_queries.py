@@ -73,6 +73,41 @@ class TestScopedAllocation:
         ids = [q.query_id for stream in streams for q in stream]
         assert len(ids) == len(set(ids))
 
+    def test_nested_scopes_restore_level_by_level(self):
+        # Nesting documented in query_ids_from: the inner scope shadows
+        # the outer one, and exiting it resumes the outer allocator
+        # exactly where it left off (not at the process default).
+        outer = QueryIdAllocator(start=100)
+        inner = QueryIdAllocator(start=200)
+        with query_ids_from(outer):
+            first = NeighborAggregationQuery(node=0)
+            with query_ids_from(inner):
+                shadowed = NeighborAggregationQuery(node=0)
+                with query_ids_from(outer):
+                    # Re-entering an allocator continues its sequence.
+                    reentered = NeighborAggregationQuery(node=0)
+            resumed = NeighborAggregationQuery(node=0)
+        assert [q.query_id for q in (first, shadowed, reentered, resumed)] \
+            == [100, 200, 101, 102]
+
+    def test_nested_scope_unwinds_to_outer_on_error(self):
+        outer = QueryIdAllocator(start=300)
+        with query_ids_from(outer):
+            with pytest.raises(RuntimeError):
+                with query_ids_from(QueryIdAllocator(start=900)):
+                    raise RuntimeError("boom")
+            assert NeighborAggregationQuery(node=0).query_id == 300
+
+    def test_reset_query_ids_targets_innermost_scope_only(self):
+        outer = QueryIdAllocator(start=50)
+        with query_ids_from(outer):
+            outer.allocate()  # 50
+            with query_ids_from(QueryIdAllocator(start=70)) as inner:
+                inner.allocate()  # 70
+                reset_query_ids()
+                assert inner.allocate() == 70  # inner rewound...
+            assert outer.allocate() == 51      # ...outer untouched
+
     def test_lazy_streams_capture_allocator_at_creation(self):
         # A *_stream built inside a scope keeps the scope's ids even when
         # consumed after the scope exits (generators run late).
@@ -88,3 +123,29 @@ class TestScopedAllocation:
         even_ids = [q.query_id for q in evens]
         assert odd_ids == list(range(1, 21, 2))
         assert even_ids == list(range(0, 20, 2))
+
+    @pytest.mark.parametrize("stream_name,kwargs", [
+        ("hotspot_stream", dict(num_hotspots=2, queries_per_hotspot=5)),
+        ("zipfian_stream", dict(num_queries=10, skew=1.5)),
+        ("ppr_stream", dict(num_queries=10, walks=2, steps=2)),
+        ("k_reach_stream", dict(num_queries=10, num_sources=3)),
+        ("sample_stream", dict(num_queries=10, fanouts=(3, 2))),
+    ])
+    def test_every_stream_family_captures_scope_allocator(self, stream_name,
+                                                          kwargs):
+        # The documented contract holds for *every* generator family,
+        # including the new operator streams: the allocator is captured at
+        # stream creation, not at (late) consumption.
+        import repro.workloads as workloads
+        from repro.graph import ring_of_cliques
+
+        graph = ring_of_cliques(4, 5)
+        stream_fn = getattr(workloads, stream_name)
+        default_next = NeighborAggregationQuery(node=0).query_id + 1
+        with query_ids_from(QueryIdAllocator(start=1000)):
+            stream = stream_fn(graph, seed=3, **kwargs)
+        consumed_outside = [q.query_id for q in stream]
+        assert consumed_outside == list(range(1000, 1010))
+        # The process-default allocator never advanced on the stream's
+        # behalf.
+        assert NeighborAggregationQuery(node=0).query_id == default_next

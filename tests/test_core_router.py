@@ -47,7 +47,7 @@ class TestDispatch:
         cluster = _cluster(graph, assets, processors=1)
         report = cluster.run(_queries(range(10)))
         spans = sorted((r.started_at, r.finished_at) for r in report.records)
-        for (s1, f1), (s2, _f2) in zip(spans, spans[1:]):
+        for (_s1, f1), (s2, _f2) in zip(spans, spans[1:], strict=False):
             assert s2 >= f1
 
     def test_empty_workload(self, graph, assets):

@@ -60,7 +60,7 @@ class TestCostModelBundle:
 
 
 def _record(query_id, processor, start, end, hits=0, misses=0, stolen=False,
-            decision=0.0):
+            decision=0.0, operator=""):
     return QueryRecord(
         query_id=query_id,
         kind="NeighborAggregationQuery",
@@ -74,6 +74,7 @@ def _record(query_id, processor, start, end, hits=0, misses=0, stolen=False,
         finished_at=end,
         stats=QueryStats(nodes_touched=hits + misses, cache_hits=hits,
                          cache_misses=misses),
+        operator=operator,
     )
 
 
@@ -132,6 +133,31 @@ class TestWorkloadReport:
         assert report.percentile_response_time(100) == pytest.approx(10.0)
         mid = report.percentile_response_time(50)
         assert 5.0 <= mid <= 6.0
+
+    def test_per_operator_stats_groups_counts_and_means(self):
+        records = [
+            _record(0, 0, 0.0, 1.0, operator="aggregation"),
+            _record(1, 0, 0.0, 3.0, operator="aggregation"),
+            _record(2, 0, 0.0, 5.0, operator="ppr"),
+        ]
+        report = WorkloadReport(records=records, makespan=5.0,
+                                num_processors=1, num_storage_servers=1)
+        stats = report.per_operator_stats()
+        assert set(stats) == {"aggregation", "ppr"}
+        assert stats["aggregation"]["queries"] == 2
+        assert stats["aggregation"]["mean_response_ms"] == pytest.approx(2e3)
+        assert stats["ppr"]["queries"] == 1
+        assert stats["ppr"]["mean_response_ms"] == pytest.approx(5e3)
+
+    def test_per_operator_stats_falls_back_to_kind(self):
+        # Pre-operator records (operator == "") group under the type name.
+        report = WorkloadReport(
+            records=[_record(0, 0, 0.0, 1.0)], makespan=1.0,
+            num_processors=1, num_storage_servers=1,
+        )
+        assert set(report.per_operator_stats()) == {
+            "NeighborAggregationQuery",
+        }
 
     def test_summary_is_json_friendly(self):
         import json

@@ -3,15 +3,25 @@
 import pytest
 
 from repro.core import (
+    KSourceReachabilityQuery,
     NeighborAggregationQuery,
+    NeighborhoodSampleQuery,
+    PersonalizedPageRankQuery,
     RandomWalkQuery,
     ReachabilityQuery,
 )
 from repro.graph import CSRGraph, Graph, bfs_distances, ring_of_cliques
 from repro.workloads import (
+    FULL_MIX,
     hotspot_stream,
     hotspot_workload,
     interleave,
+    k_reach_stream,
+    k_reach_workload,
+    ppr_stream,
+    ppr_workload,
+    sample_stream,
+    sample_workload,
     uniform_stream,
     uniform_workload,
     zipfian_stream,
@@ -160,6 +170,113 @@ class TestStreams:
     def test_interleave_rejects_empty(self):
         with pytest.raises(ValueError):
             interleave([])
+
+
+class TestFullMixAndRegistryKinds:
+    def test_full_mix_yields_all_six_operators(self, graph):
+        queries = uniform_workload(graph, num_queries=60, mix=FULL_MIX,
+                                   seed=2)
+        kinds = {type(q) for q in queries}
+        assert kinds == {
+            NeighborAggregationQuery, RandomWalkQuery, ReachabilityQuery,
+            PersonalizedPageRankQuery, KSourceReachabilityQuery,
+            NeighborhoodSampleQuery,
+        }
+
+    def test_hotspot_full_mix_sources_stay_in_ball(self, graph):
+        radius = 1
+        queries = hotspot_workload(graph, num_hotspots=6,
+                                   queries_per_hotspot=6, radius=radius,
+                                   mix=("k_reach",), seed=4)
+        for query in queries:
+            dist = bfs_distances(graph, query.node, max_hops=4 * radius)
+            for anchor in query.all_sources():
+                assert anchor in dist
+            assert query.target in dist
+
+    def test_unknown_mix_entry_fails_eagerly_in_streams(self, graph):
+        # Registry-driven validation happens at stream *creation* (lazy
+        # generation must not defer the error to first consumption).
+        with pytest.raises(ValueError, match="teleport"):
+            uniform_stream(graph, num_queries=5, mix=("teleport",))
+        with pytest.raises(ValueError, match="workload fact"):
+            # Registered operators without factories are refused too.
+            from repro.core import QueryOperator, QueryStats, default_registry
+            from repro.core.queries import Query
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class _NoFactory(Query):
+                pass
+
+            def _noop(processor, query):
+                yield processor.env.timeout(0)
+                return QueryStats()
+
+            default_registry.register(QueryOperator(
+                name="nofactory", query_type=_NoFactory, executor=_noop,
+                cost_class="point",
+            ))
+            try:
+                uniform_stream(graph, num_queries=5, mix=("nofactory",))
+            finally:
+                default_registry.unregister("nofactory")
+
+
+class TestFamilyStreams:
+    def test_streams_match_workload_lists(self, graph):
+        for stream_fn, list_fn, kwargs in (
+            (ppr_stream, ppr_workload,
+             dict(num_queries=15, walks=2, steps=3, seed=3)),
+            (k_reach_stream, k_reach_workload,
+             dict(num_queries=15, num_sources=3, seed=3)),
+            (sample_stream, sample_workload,
+             dict(num_queries=15, fanouts=(4, 2), seed=3)),
+        ):
+            stream = stream_fn(graph, **kwargs)
+            assert iter(stream) is stream  # a true generator, no len()
+            streamed = [(type(q), q.node) for q in stream]
+            listed = [(type(q), q.node) for q in list_fn(graph, **kwargs)]
+            assert streamed == listed
+
+    def test_validation_is_eager(self, graph):
+        with pytest.raises(ValueError):
+            ppr_stream(graph, num_queries=0)
+        with pytest.raises(ValueError):
+            ppr_stream(graph, num_queries=5, walks=0)
+        with pytest.raises(ValueError):
+            ppr_stream(graph, num_queries=5, skew=1.0)
+        with pytest.raises(ValueError):
+            k_reach_stream(graph, num_queries=5, num_sources=0)
+        with pytest.raises(ValueError):
+            k_reach_stream(graph, num_queries=5, num_sources=65)
+        with pytest.raises(ValueError):
+            sample_stream(graph, num_queries=5, fanouts=())
+
+    def test_k_reach_batches_draw_from_one_ball(self, graph):
+        radius = 1
+        for query in k_reach_workload(graph, num_queries=10, num_sources=4,
+                                      radius=radius, seed=7):
+            assert len(query.all_sources()) <= 4
+            # All anchors + target lie within 2*radius of the primary.
+            dist = bfs_distances(graph, query.node, max_hops=4 * radius)
+            for anchor in query.all_sources():
+                assert anchor in dist
+            assert query.target in dist
+
+    def test_ppr_zipf_seeds_repeat(self, graph):
+        queries = ppr_workload(graph, num_queries=200, skew=2.0, seed=1)
+        counts = {}
+        for query in queries:
+            counts[query.node] = counts.get(query.node, 0) + 1
+        assert max(counts.values()) > 20  # hot seeds dominate
+
+    def test_deterministic(self, graph):
+        a = [(q.node, q.seed) for q in ppr_workload(graph, num_queries=20,
+                                                    seed=9)]
+        b = [(q.node, q.seed) for q in ppr_workload(graph, num_queries=20,
+                                                    seed=9)]
+        assert a == b
 
 
 class TestZipfianWorkload:
