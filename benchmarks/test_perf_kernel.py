@@ -1,0 +1,66 @@
+"""Hot-path perf benchmark: kernel microbench + operator-mix wall clock.
+
+The kernel microbench runs an identical event program on the frozen
+pre-overhaul kernel and on the live one, so the speedup it reports is
+measured on *this* machine in *this* process — the artifact records both
+events/sec numbers. The microbench ratio is machine-stable (pure
+interpreter work, no I/O, best-of-N), which is why it is the one number
+CI hard-gates; the operator-mix wall clock is recorded for the trajectory
+but varies with the runner and is not asserted.
+
+Set ``REPRO_PERF_BASELINE`` to a committed ``perf_hotpath.json`` to also
+enforce the CI regression gate: the rewritten-vs-legacy *speedup ratio*
+must stay within 30% of the committed baseline's ratio. Gating on the
+ratio (not absolute events/sec) keeps the gate machine-fair — a slower
+runner slows both kernels alike, while a real regression in the live
+kernel drops the ratio wherever it runs.
+"""
+
+import json
+import os
+
+from repro.bench.perf import perf_hotpath
+
+#: Machine-independent floor asserted everywhere (the committed artifact
+#: records the actual ratio, >= 2x on the reference run).
+MIN_SPEEDUP = 1.5
+
+#: CI regression gate: allow 30% slack vs the committed baseline's
+#: speedup ratio before failing (runner-to-runner variance of the ratio
+#: is well under this; a real regression — e.g. losing the pooled-timeout
+#: path — costs more).
+BASELINE_TOLERANCE = 0.70
+
+
+def _baseline_speedup(path: str) -> float:
+    payload = json.loads(open(path).read())
+    for row in payload["rows"]:
+        if row[0] == "kernel_micro/speedup":
+            return float(row[2])
+    raise AssertionError(f"no kernel_micro/speedup row in {path}")
+
+
+def test_perf_hotpath(benchmark):
+    result = benchmark.pedantic(perf_hotpath, rounds=1, iterations=1)
+
+    micro = result["kernel_microbench"]
+    assert micro["events"] > 100_000  # the program is big enough to time
+    assert micro["rewritten_events_per_second"] > 0
+    assert micro["legacy_events_per_second"] > 0
+    assert micro["speedup"] >= MIN_SPEEDUP, (
+        f"kernel rewrite speedup {micro['speedup']:.2f}x fell below "
+        f"{MIN_SPEEDUP}x vs the frozen legacy kernel"
+    )
+
+    mix = result["operator_mix"]
+    assert mix["queries"] > 0
+    assert mix["events"] > 0
+    assert mix["queries_per_second"] > 0
+
+    baseline = os.environ.get("REPRO_PERF_BASELINE")
+    if baseline:
+        floor = BASELINE_TOLERANCE * _baseline_speedup(baseline)
+        assert micro["speedup"] >= floor, (
+            f"kernel microbench regressed >30% vs committed baseline "
+            f"speedup: {micro['speedup']:.2f}x < {floor:.2f}x"
+        )

@@ -48,7 +48,6 @@ class BridgeProbeQuery(Query):
 
 # -- 2. the executor (a simulation process, like every built-in) --------------
 def execute_bridge_probe(processor, query: BridgeProbeQuery):
-    env = processor.env
     csr = processor.assets.csr_both
     stats = QueryStats()
     compact = processor.assets.compact
@@ -58,8 +57,10 @@ def execute_bridge_probe(processor, query: BridgeProbeQuery):
         stats.result = False
         return stats
     # Fetch both anchors' records (the probe reads both adjacency lists).
+    # `yield from` runs the gather inline in this process; wrapping it in
+    # env.process(...) also works and allows overlapping several gathers.
     anchors = np.unique(np.array([left, right], dtype=np.int64))
-    yield env.process(gather_nodes(processor, anchors, stats))
+    yield from gather_nodes(processor, anchors, stats)
     left_row = csr.neighbors_of(left)
     right_row = csr.neighbors_of(right)
     stats.result = bool(np.intersect1d(left_row, right_row).size > 0)

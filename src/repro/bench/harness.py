@@ -20,6 +20,7 @@ from ..core.assets import GraphAssets
 from ..core.queries import Query
 from ..datasets import load_dataset
 from ..graph.digraph import Graph
+from ..sim import total_events_processed
 from ..workloads import hotspot_workload
 
 #: Environment knob: scale every benchmark graph (e.g. 0.25 for smoke runs).
@@ -133,9 +134,37 @@ def write_json_atomic(path: Path, payload: object) -> None:
             tmp.unlink()
 
 
+# Perf-trajectory window: every artifact records the wall clock spent and
+# kernel events dispatched since the previous artifact in this process
+# (or since import, for the first). The rows stay bit-reproducible; the
+# metadata block is the free byproduct that gives future PRs a perf
+# trajectory without instrumenting each experiment.
+_perf_window = {"time": time.perf_counter(), "events": total_events_processed()}
+
+
+def _perf_metadata() -> Dict[str, float]:
+    now = time.perf_counter()
+    events = total_events_processed()
+    wall = now - _perf_window["time"]
+    delta = events - _perf_window["events"]
+    _perf_window["time"] = now
+    _perf_window["events"] = events
+    return {
+        "wall_clock_seconds": round(wall, 3),
+        "kernel_events": delta,
+        "events_per_second": round(delta / wall) if wall > 0 else 0,
+    }
+
+
 def emit(title: str, headers: Sequence[str],
          rows: Sequence[Sequence[object]], name: str) -> str:
-    """Print a table and persist it as a JSON artifact (atomically)."""
+    """Print a table and persist it as a JSON artifact (atomically).
+
+    The artifact carries a ``metadata`` block (wall-clock seconds, kernel
+    events and events/sec since the previous artifact) so every benchmark
+    contributes to the perf trajectory for free. Row values remain exactly
+    reproducible; only ``generated_at`` and ``metadata`` vary run to run.
+    """
     table = format_table(title, headers, rows)
     print("\n" + table)
     payload = {
@@ -143,6 +172,7 @@ def emit(title: str, headers: Sequence[str],
         "headers": list(headers),
         "rows": [list(r) for r in rows],
         "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "metadata": _perf_metadata(),
     }
     write_json_atomic(RESULTS_DIR / f"{name}.json", payload)
     return table

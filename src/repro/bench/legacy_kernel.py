@@ -1,0 +1,265 @@
+"""Frozen copy of the pre-overhaul simulation kernel (PR 1-3 vintage).
+
+This module exists for one purpose: the kernel microbenchmark in
+:mod:`repro.bench.perf` runs the *same* event program on this kernel and on
+the rewritten :mod:`repro.sim` kernel, so the speedup recorded in
+``bench_results/perf_hotpath.json`` is measured on the same machine in the
+same process — a machine-fair before/after number rather than a stale
+constant. Nothing else may import it.
+
+The copy is verbatim from the last pre-rewrite revision (minus module
+docstrings), with ``events.py`` and ``environment.py`` merged into one
+file. Do not optimise this module: its slowness is the baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """Pre-rewrite event: per-instance ``__dict__``, property-based state."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = PENDING
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._value = None
+        self._state = TRIGGERED
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    def __init__(self, env: "Environment", generator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._exception is not None:
+                    target = self._generator.throw(event._exception)
+                else:
+                    target = self._generator.send(event._value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                error = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                self._generator.throw(error)
+                raise error
+
+            self._target = target
+            if target.processed:
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            break
+        self.env._active_process = None
+
+
+class Condition(Event):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        for child in self.events:
+            if child.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for child in self.events:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([event._value for event in self.events])
+
+
+class AnyOf(Condition):
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._exception is not None:
+            self.fail(child._exception)
+            return
+        self.succeed(child._value)
+
+
+class Environment:
+    """Pre-rewrite environment: ``run()`` delegates to ``step()`` per event."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                self.step()
+            return target.value
+
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise SimulationError("run(until=...) is in the past")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        if until is not None:
+            self._now = limit
+        return None

@@ -5,16 +5,44 @@ policy, and it favors recent queries", §2.3). FIFO and LFU are provided for
 the eviction-policy ablation. The cache is an *accounting* cache: the
 simulation tracks which adjacency records are resident and how many bytes
 they occupy; values themselves are optional.
+
+Hot-path design
+---------------
+
+``get_many``/``put_many`` accept ``int64`` ndarrays directly — the gather
+path hands over the frontier array it already has, and gets the missed
+keys back as an array, with exactly one C-level ``tolist()`` conversion in
+between (plain ``int`` keys hash several times faster than numpy scalars).
+Per-policy probe loops are specialised so the LRU case is a dict-membership
+test plus a hoisted ``move_to_end`` per hit, with statistics updated once
+per batch rather than once per key.
+
+LFU keeps its classic lazy min-heap of ``(count, tick, key)`` snapshots,
+but the hot *hit* path never touches the heap: a hit only updates the
+``key -> (count, tick)`` table. A heap snapshot is valid iff it equals the
+key's current ``(count, tick)``; eviction lazily re-pushes a fresh snapshot
+whenever it pops a stale one for a still-resident key. Because stale
+snapshots can never validate again, the heap can be *compacted* — rebuilt
+from the live table — whenever stale entries dominate
+(:data:`LFU_COMPACT_FACTOR`), which bounds heap growth under churn at
+``O(len(cache))`` instead of ``O(total hits)``.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 POLICIES = ("lru", "fifo", "lfu")
+
+#: Compact the LFU heap once it exceeds this multiple of the live entries
+#: (plus a small constant so tiny caches never bother).
+LFU_COMPACT_FACTOR = 3
+LFU_COMPACT_SLACK = 64
 
 
 @dataclass
@@ -39,6 +67,9 @@ class ProcessorCache:
     misses and nothing is admitted.
     """
 
+    __slots__ = ("capacity_bytes", "policy", "stats", "_entries", "_bytes",
+                 "_freq", "_heap", "_tick")
+
     def __init__(self, capacity_bytes: int, policy: str = "lru") -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity must be >= 0")
@@ -49,9 +80,10 @@ class ProcessorCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
         self._bytes = 0
-        # LFU bookkeeping: access counts plus a lazy min-heap of
-        # (count, tick, key) snapshots; stale snapshots are skipped on pop.
-        self._freq: Dict[Hashable, int] = {}
+        # LFU bookkeeping: key -> (access count, tick of last access) plus a
+        # lazy min-heap of (count, tick, key) snapshots; a snapshot is valid
+        # iff it matches the key's current (count, tick) exactly.
+        self._freq: Dict[Hashable, Tuple[int, int]] = {}
         self._heap: List[Tuple[int, int, Hashable]] = []
         self._tick = 0
 
@@ -77,17 +109,52 @@ class ProcessorCache:
         self._touch(key)
         return entry[1]
 
-    def get_many(self, keys: Iterable[Hashable]) -> List[Hashable]:
-        """Probe many keys; returns the list of *missed* keys, in order."""
-        missed: List[Hashable] = []
+    def get_many(
+        self, keys: Union[np.ndarray, Iterable[Hashable]]
+    ) -> Union[np.ndarray, List[Hashable]]:
+        """Probe many keys; returns the *missed* keys, in probe order.
+
+        An ``int64`` ndarray input returns an ``int64`` ndarray of misses
+        (the gather hot path); any other iterable returns a list, matching
+        the input's key objects.
+        """
+        array_in = isinstance(keys, np.ndarray)
+        key_list = keys.tolist() if array_in else keys
         entries = self._entries
-        for key in keys:
-            if key in entries:
-                self.stats.hits += 1
-                self._touch(key)
-            else:
-                self.stats.misses += 1
-                missed.append(key)
+        missed: List[Hashable] = []
+        append = missed.append
+        hits = 0
+        policy = self.policy
+        if policy == "lru":
+            move = entries.move_to_end
+            for key in key_list:
+                if key in entries:
+                    hits += 1
+                    move(key)
+                else:
+                    append(key)
+        elif policy == "fifo":
+            for key in key_list:
+                if key in entries:
+                    hits += 1
+                else:
+                    append(key)
+        else:  # lfu: bump (count, tick); the heap is untouched on hits
+            freq = self._freq
+            tick = self._tick
+            for key in key_list:
+                if key in entries:
+                    hits += 1
+                    tick += 1
+                    freq[key] = (freq[key][0] + 1, tick)
+                else:
+                    append(key)
+            self._tick = tick
+        stats = self.stats
+        stats.hits += hits
+        stats.misses += len(missed)
+        if array_in:
+            return np.array(missed, dtype=np.int64)
         return missed
 
     # -- admissions -------------------------------------------------------
@@ -98,23 +165,43 @@ class ProcessorCache:
         if size > self.capacity_bytes:
             self.stats.rejected += 1
             return
-        if key in self._entries:
-            old_size, _ = self._entries[key]
+        entries = self._entries
+        if key in entries:
+            old_size, _ = entries[key]
             self._bytes -= old_size
-            del self._entries[key]
-        while self._bytes + size > self.capacity_bytes and self._entries:
+            del entries[key]
+        while self._bytes + size > self.capacity_bytes and entries:
             self._evict_one()
-        self._entries[key] = (size, value)
+        entries[key] = (size, value)
         self._bytes += size
         self.stats.insertions += 1
         if self.policy == "lfu":
-            self._freq[key] = self._freq.get(key, 0) + 1
+            freq = self._freq
+            entry = freq.get(key)
+            count = 1 if entry is None else entry[0] + 1
             self._tick += 1
-            heapq.heappush(self._heap, (self._freq[key], self._tick, key))
+            tick = self._tick
+            freq[key] = (count, tick)
+            heappush(self._heap, (count, tick, key))
+            self._maybe_compact()
 
-    def put_many(self, items: Iterable[Tuple[Hashable, int]]) -> None:
-        for key, size in items:
-            self.put(key, size)
+    def put_many(
+        self,
+        items: Union[np.ndarray, Iterable[Tuple[Hashable, int]]],
+        sizes: Optional[np.ndarray] = None,
+    ) -> None:
+        """Admit a batch.
+
+        Either ``put_many(keys_array, sizes_array)`` with two aligned
+        ndarrays (the gather hot path), or ``put_many(iterable_of_pairs)``.
+        """
+        put = self.put
+        if sizes is not None:
+            for key, size in zip(items.tolist(), sizes.tolist(), strict=True):
+                put(key, size)
+        else:
+            for key, size in items:
+                put(key, size)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -127,9 +214,8 @@ class ProcessorCache:
         if self.policy == "lru":
             self._entries.move_to_end(key)
         elif self.policy == "lfu":
-            self._freq[key] += 1
             self._tick += 1
-            heapq.heappush(self._heap, (self._freq[key], self._tick, key))
+            self._freq[key] = (self._freq[key][0] + 1, self._tick)
         # FIFO: access order never changes.
 
     def _evict_one(self) -> None:
@@ -137,11 +223,35 @@ class ProcessorCache:
             key, (size, _) = self._entries.popitem(last=False)
             self._bytes -= size
         else:  # lfu with lazy heap
+            entries = self._entries
+            freq = self._freq
+            heap = self._heap
             while True:
-                count, _tick, key = heapq.heappop(self._heap)
-                if key in self._entries and self._freq.get(key) == count:
-                    size, _ = self._entries.pop(key)
+                count, tick, key = heappop(heap)
+                current = freq.get(key)
+                if current is None or key not in entries:
+                    continue  # snapshot of an evicted key: drop it
+                if current[0] == count and current[1] == tick:
+                    size, _ = entries.pop(key)
                     self._bytes -= size
-                    del self._freq[key]
+                    del freq[key]
                     break
+                # Stale snapshot of a live key (it was hit since): lazily
+                # restore its current snapshot so the key stays evictable.
+                heappush(heap, (current[0], current[1], key))
         self.stats.evictions += 1
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the LFU heap when stale snapshots dominate.
+
+        Only current ``(count, tick)`` snapshots can ever validate, so a
+        rebuild from the live table is semantics-preserving; it bounds the
+        heap at ``O(len(cache))`` across arbitrarily long hit/evict cycles.
+        """
+        heap = self._heap
+        if len(heap) > LFU_COMPACT_FACTOR * len(self._entries) + LFU_COMPACT_SLACK:
+            self._heap = [
+                (count, tick, key)
+                for key, (count, tick) in self._freq.items()
+            ]
+            heapify(self._heap)

@@ -13,6 +13,25 @@ Topology comes from the shared read-only CSR views in
 timing, is per-processor simulated state. :func:`gather_nodes` is the one
 primitive custom operators need — everything else is plain numpy over the
 CSR views.
+
+Hot-path design
+---------------
+
+The per-server round trip used to be a generator chain (request-transfer
+timeout, a spawned ``serve_process``, response-transfer timeout) nested in
+its own :class:`~repro.sim.events.Process`. :class:`_ServerFetch` fuses it
+into a callback chain over precomputed latencies: request arrival →
+pipeline grant → service end (release) → response arrival → completion.
+Queueing still goes through the server's FIFO pipeline ``Resource``, so
+contention, utilisation accounting and failure injection are identical to
+the generator version — the simulated times and their ordering are
+bit-for-bit the same, with two generator trampolines, two ``Process``
+objects and an ``Initialize`` event per fetch gone from the hot path.
+
+``gather_nodes`` itself is array-native end-to-end: the frontier ndarray
+flows into :meth:`ProcessorCache.get_many`, the missed keys come back as
+an ``int64`` ndarray used directly for owner lookup, per-server bincounts
+and admission — no ``tolist()``/``asarray`` round-trips at the interfaces.
 """
 
 from __future__ import annotations
@@ -21,6 +40,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ...sim import Event
+from ...storage.server import StorageServerDown
 from ..metrics import QueryStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,16 +52,67 @@ _PER_KEY_REQUEST_BYTES = 8
 _RESPONSE_HEADER_BYTES = 16
 
 
-def _server_fetch(processor: "QueryProcessor", server_id: int, num_keys: int,
-                  nbytes: int):
-    """Round trip to one storage server: request out, service, payload back."""
-    env = processor.env
-    network = processor.costs.network
-    request_bytes = _REQUEST_HEADER_BYTES + _PER_KEY_REQUEST_BYTES * num_keys
-    yield env.timeout(network.transfer_time(request_bytes))
-    server = processor.tier.servers[server_id]
-    yield env.process(server.serve_process(num_keys, nbytes))
-    yield env.timeout(network.transfer_time(_RESPONSE_HEADER_BYTES + nbytes))
+class _ServerFetch:
+    """One in-flight multiget round trip to a single storage server.
+
+    The chain is driven entirely by event callbacks on the simulation
+    kernel; ``completion`` triggers when the response payload has fully
+    arrived (or fails with :class:`StorageServerDown`). Keep the stage
+    order in lockstep with ``StorageServer.serve_process``, which is the
+    generator twin used by the storage-tier tests.
+    """
+
+    __slots__ = ("processor", "server", "num_keys", "nbytes", "completion",
+                 "request")
+
+    def __init__(self, processor: "QueryProcessor", server_id: int,
+                 num_keys: int, nbytes: int) -> None:
+        self.processor = processor
+        self.server = processor.tier.servers[server_id]
+        self.num_keys = num_keys
+        self.nbytes = nbytes
+        env = processor.env
+        self.completion = Event(env)
+        request_bytes = _REQUEST_HEADER_BYTES + _PER_KEY_REQUEST_BYTES * num_keys
+        arrival = env.timeout(
+            processor.costs.network.transfer_time(request_bytes)
+        )
+        arrival.callbacks.append(self._on_arrival)
+
+    def _on_arrival(self, _event: Event) -> None:
+        """Request reached the server: join the FIFO service pipeline."""
+        request = self.server.pipeline.request()
+        self.request = request
+        request.callbacks.append(self._on_grant)
+
+    def _on_grant(self, _event: Event) -> None:
+        server = self.server
+        if not server.alive:
+            server.pipeline.release(self.request)
+            self.completion.fail(
+                StorageServerDown(f"storage server {server.server_id} is down")
+            )
+            return
+        service = server.env.timeout(
+            server.service.service_time(self.num_keys, self.nbytes)
+        )
+        service.callbacks.append(self._on_service_end)
+
+    def _on_service_end(self, _event: Event) -> None:
+        server = self.server
+        server.requests_served += 1
+        server.keys_served += self.num_keys
+        server.bytes_served += self.nbytes
+        server.pipeline.release(self.request)
+        response = self.processor.env.timeout(
+            self.processor.costs.network.transfer_time(
+                _RESPONSE_HEADER_BYTES + self.nbytes
+            )
+        )
+        response.callbacks.append(self._on_response)
+
+    def _on_response(self, _event: Event) -> None:
+        self.completion.succeed(None)
 
 
 def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
@@ -51,6 +123,10 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
     (grouped per owning server, in parallel) and admits them. Updates
     ``stats`` unless ``count_in_stats`` is False (used for the query node
     itself, which Eq. 8 excludes from hit/miss accounting).
+
+    Executors consume it with ``yield from`` — it runs inline in the
+    calling process, so a sequential gather costs no extra ``Process``.
+    Wrap it in ``env.process(...)`` only to overlap several gathers.
     """
     env = processor.env
     costs = processor.costs
@@ -58,12 +134,12 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
     sizes = processor.assets.record_sizes
 
     if processor.use_cache:
-        missed = cache.get_many(nodes.tolist())
+        missed = cache.get_many(nodes)
         lookup_time = costs.cache.lookup * len(nodes)
         if lookup_time > 0:
             yield env.timeout(lookup_time)
     else:
-        missed = nodes.tolist()
+        missed = nodes
 
     num_hits = len(nodes) - len(missed)
     if count_in_stats:
@@ -71,28 +147,37 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
         stats.cache_misses += len(missed)
         stats.nodes_touched += len(nodes)
 
-    if missed:
-        missed_arr = np.asarray(missed, dtype=np.int64)
-        owners = processor.owner_of[missed_arr]
-        miss_sizes = sizes[missed_arr]
-        num_servers = processor.tier.num_servers
-        counts = np.bincount(owners, minlength=num_servers)
-        byte_sums = np.bincount(owners, weights=miss_sizes, minlength=num_servers)
-        fetches = [
-            env.process(
-                _server_fetch(processor, int(sid), int(counts[sid]),
-                              int(byte_sums[sid]))
-            )
-            for sid in np.nonzero(counts)[0]
-        ]
-        total_bytes = int(byte_sums.sum())
+    if missed.size:
+        if missed.size == 1:
+            # Walk steps and point probes miss one record at a time; skip
+            # the per-server grouping machinery for the single fetch.
+            node = missed[0]
+            miss_sizes = sizes[node:node + 1]
+            total_bytes = int(miss_sizes[0])
+            fetches = [
+                _ServerFetch(processor, int(processor.owner_of[node]), 1,
+                             total_bytes).completion
+            ]
+        else:
+            owners = processor.owner_of[missed]
+            miss_sizes = sizes[missed]
+            num_servers = processor.tier.num_servers
+            counts = np.bincount(owners, minlength=num_servers)
+            byte_sums = np.bincount(owners, weights=miss_sizes,
+                                    minlength=num_servers)
+            fetches = [
+                _ServerFetch(processor, int(sid), int(counts[sid]),
+                             int(byte_sums[sid])).completion
+                for sid in np.nonzero(counts)[0]
+            ]
+            total_bytes = int(byte_sums.sum())
         if count_in_stats:
             stats.bytes_fetched += total_bytes
             stats.storage_requests += len(fetches)
         yield env.all_of(fetches)
 
         if processor.use_cache:
-            cache.put_many(zip(missed, miss_sizes.tolist(), strict=True))
+            cache.put_many(missed, miss_sizes)
             insert_time = costs.cache.insert * len(missed)
             if insert_time > 0:
                 yield env.timeout(insert_time)

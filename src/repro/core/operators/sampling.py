@@ -34,8 +34,8 @@ def execute_neighborhood_sample(processor: "QueryProcessor",
     sampled = np.zeros(csr.num_nodes, dtype=bool)
     sampled[source] = True
     frontier = np.array([source], dtype=np.int64)
-    yield env.process(gather_nodes(processor, frontier, stats,
-                                   count_in_stats=False))
+    yield from gather_nodes(processor, frontier, stats,
+                            count_in_stats=False)
 
     total = 0
     for fanout in query.fanouts:
@@ -55,7 +55,7 @@ def execute_neighborhood_sample(processor: "QueryProcessor",
         if fresh.size:
             sampled[fresh] = True
             total += int(fresh.size)
-            yield env.process(gather_nodes(processor, fresh, stats))
+            yield from gather_nodes(processor, fresh, stats)
             compute = processor.costs.compute.per_node * fresh.size
             if compute > 0:
                 yield env.timeout(compute)

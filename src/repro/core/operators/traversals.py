@@ -37,8 +37,8 @@ def execute_aggregation(processor: "QueryProcessor",
     visited = np.zeros(csr.num_nodes, dtype=bool)
     visited[source] = True
     frontier = np.array([source], dtype=np.int64)
-    yield env.process(gather_nodes(processor, frontier, stats,
-                                   count_in_stats=False))
+    yield from gather_nodes(processor, frontier, stats,
+                            count_in_stats=False)
 
     total = 0
     for _hop in range(query.hops):
@@ -50,7 +50,7 @@ def execute_aggregation(processor: "QueryProcessor",
             break
         visited[fresh] = True
         total += int(fresh.size)
-        yield env.process(gather_nodes(processor, fresh, stats))
+        yield from gather_nodes(processor, fresh, stats)
         compute = processor.costs.compute.per_node * fresh.size
         if compute > 0:
             yield env.timeout(compute)
@@ -88,9 +88,9 @@ def execute_reachability(processor: "QueryProcessor",
     backward_budget = query.hops // 2
     found = False
 
-    yield env.process(gather_nodes(processor, fwd_frontier, stats,
-                                   count_in_stats=False))
-    yield env.process(gather_nodes(processor, bwd_frontier, stats))
+    yield from gather_nodes(processor, fwd_frontier, stats,
+                            count_in_stats=False)
+    yield from gather_nodes(processor, bwd_frontier, stats)
 
     while (forward_budget or backward_budget) and not found:
         # Expand the cheaper side first (classic bidirectional heuristic).
@@ -118,7 +118,7 @@ def execute_reachability(processor: "QueryProcessor",
             visited[fresh] = True
             if other[fresh].any():
                 found = True
-            yield env.process(gather_nodes(processor, fresh, stats))
+            yield from gather_nodes(processor, fresh, stats)
             compute = processor.costs.compute.per_node * fresh.size
             if compute > 0:
                 yield env.timeout(compute)
@@ -168,8 +168,8 @@ def execute_k_source_reachability(processor: "QueryProcessor",
     visited = np.zeros(csr.num_nodes, dtype=bool)
     frontier = np.unique(np.asarray(sources, dtype=np.int64))
     visited[frontier] = True
-    yield env.process(gather_nodes(processor, frontier, stats,
-                                   count_in_stats=False))
+    yield from gather_nodes(processor, frontier, stats,
+                            count_in_stats=False)
 
     for _hop in range(query.hops):
         if labels[target] == full:
@@ -196,7 +196,7 @@ def execute_k_source_reachability(processor: "QueryProcessor",
         fresh = frontier[~visited[frontier]]
         if fresh.size:
             visited[fresh] = True
-            yield env.process(gather_nodes(processor, fresh, stats))
+            yield from gather_nodes(processor, fresh, stats)
         compute = processor.costs.compute.per_node * frontier.size
         if compute > 0:
             yield env.timeout(compute)

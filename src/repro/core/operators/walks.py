@@ -33,19 +33,19 @@ def execute_random_walk(processor: "QueryProcessor", query: RandomWalkQuery):
 
     current = source
     path_length = 0
-    yield env.process(gather_nodes(
+    yield from gather_nodes(
         processor, np.array([source], dtype=np.int64), stats,
         count_in_stats=False,
-    ))
+    )
     for _step in range(query.steps):
         row = csr.neighbors_of(current)
         if row.size == 0 or rng.random() < query.restart_prob:
             current = source
         else:
             current = int(row[rng.integers(0, row.size)])
-            yield env.process(gather_nodes(
+            yield from gather_nodes(
                 processor, np.array([current], dtype=np.int64), stats,
-            ))
+            )
         path_length += 1
         walk_cost = processor.costs.compute.per_walk_step
         if walk_cost > 0:
@@ -71,10 +71,10 @@ def execute_ppr(processor: "QueryProcessor",
     source = processor.assets.compact[query.node]
     rng = np.random.default_rng((query.seed, query.node))
 
-    yield env.process(gather_nodes(
+    yield from gather_nodes(
         processor, np.array([source], dtype=np.int64), stats,
         count_in_stats=False,
-    ))
+    )
     visits: Dict[int, int] = {}
     for _walk in range(query.walks):
         current = source
@@ -85,9 +85,9 @@ def execute_ppr(processor: "QueryProcessor",
             else:
                 current = int(row[rng.integers(0, row.size)])
                 visits[current] = visits.get(current, 0) + 1
-                yield env.process(gather_nodes(
+                yield from gather_nodes(
                     processor, np.array([current], dtype=np.int64), stats,
-                ))
+                )
             walk_cost = processor.costs.compute.per_walk_step
             if walk_cost > 0:
                 yield env.timeout(walk_cost)

@@ -76,7 +76,8 @@ class QueryProcessor:
                 router.on_requeue(self.processor_id, query)
                 break
             started = self.env.now
-            stats = yield self.env.process(execute_query(self, query))
+            # Inline the executor generator: no sub-Process per query.
+            stats = yield from execute_query(self, query)
             finished = self.env.now
             self.queries_executed += 1
             self.busy_time += finished - started

@@ -6,7 +6,7 @@ are simulation processes whose costs come from calibrated cost models rather
 than Python wall-clock time.
 """
 
-from .environment import Environment
+from .environment import Environment, total_events_processed
 from .events import (
     AllOf,
     AnyOf,
@@ -28,4 +28,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "total_events_processed",
 ]

@@ -4,24 +4,72 @@ The environment owns the simulated clock and a priority queue of triggered
 events. ``run()`` pops events in ``(time, sequence)`` order, which makes every
 simulation fully deterministic for a fixed program: ties at the same instant
 resolve in scheduling order.
+
+Hot-path design
+---------------
+
+``run()`` inlines the pop/dispatch loop instead of calling :meth:`step` per
+event: the queue, ``heappop`` and the clock live in locals, and callbacks
+are dispatched straight off the popped tuple without attribute re-lookups.
+``timeout()`` serves bare timeouts (no value) from a free list that
+:meth:`~repro.sim.events.Process._resume` refills as processes consume
+them, so the single most common event in every simulation costs no
+allocation in steady state. Both paths schedule in exactly the same
+``(time, sequence)`` order as the naive kernel — wall-clock changes,
+simulated results do not.
+
+The environment also counts dispatched events (:attr:`events_processed`
+per environment, :func:`total_events_processed` process-wide), which is
+what benchmark artifacts report as ``events_per_second``.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Iterable, Optional
 
-from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+from .events import (
+    POOLED,
+    PROCESSED,
+    TRIGGERED,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+#: Process-wide count of dispatched events, across every Environment.
+#: A one-element list so the inlined run loop can add to it without a
+#: module-level rebind (and so imports see updates).
+_TOTAL_EVENTS = [0]
+
+
+def total_events_processed() -> int:
+    """Events dispatched by every environment in this process so far."""
+    return _TOTAL_EVENTS[0]
 
 
 class Environment:
     """Execution environment for a single simulation run."""
+
+    __slots__ = ("_now", "_queue", "_sequence", "_active_process",
+                 "_timeout_pool", "_events_processed", "_run_targets")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
+        self._events_processed = 0
+        # Stack of events that active run(until=event) calls are waiting
+        # on (outermost first): exempt from timeout recycling so each run
+        # loop can observe its target's completion even if a process
+        # consumes the same bare timeout.
+        self._run_targets: list[Event] = []
 
     @property
     def now(self) -> float:
@@ -33,13 +81,37 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def events_processed(self) -> int:
+        """Events dispatched by this environment so far."""
+        return self._events_processed
+
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
         """Create a new, untriggered event."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers ``delay`` units from now."""
+        """Create an event that triggers ``delay`` units from now.
+
+        Bare timeouts (``value is None``) are recycled through a free
+        list — see the :mod:`repro.sim.events` docstring for the
+        single-waiter contract this implies.
+        """
+        if value is None:
+            pool = self._timeout_pool
+            if pool:
+                if delay < 0:
+                    raise SimulationError(f"negative timeout delay: {delay!r}")
+                timeout = pool.pop()
+                timeout.delay = delay
+                timeout._value = None
+                timeout._exception = None
+                timeout._state = TRIGGERED
+                sequence = self._sequence
+                heappush(self._queue, (self._now + delay, sequence, timeout))
+                self._sequence = sequence + 1
+                return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator) -> Process:
@@ -56,7 +128,7 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
 
     def peek(self) -> float:
@@ -73,6 +145,8 @@ class Environment:
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self._events_processed += 1
+        _TOTAL_EVENTS[0] += 1
         event._run_callbacks()
 
     def run(self, until: Optional[Any] = None) -> Any:
@@ -84,23 +158,156 @@ class Environment:
         * a number — run until the clock reaches that time;
         * an :class:`Event` — run until that event is processed, returning
           its value (re-raising its exception on failure).
+
+        Events only ever enter the queue at ``now + delay`` with
+        ``delay >= 0``, so unlike :meth:`step` the inlined loops skip the
+        scheduled-in-the-past check.
         """
+        # The dispatch block below appears twice (event-target loop and
+        # time-limit loop) and inlines the first iteration of
+        # Process._resume for single-waiter events — the dominant shape by
+        # far. Keep the two copies, Process._resume and
+        # Event._run_callbacks in lockstep.
+        queue = self._queue
+        pop = heappop
+        pool = self._timeout_pool
+        count = 0
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._queue:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited "
-                        "event triggered (deadlock?)"
-                    )
-                self.step()
+            targets = self._run_targets
+            targets.append(target)
+            try:
+                while target._state != PROCESSED:
+                    if not queue:
+                        if target._state == POOLED:  # defensive: the
+                            # _run_targets exemption should make this
+                            # unreachable via the public API
+                            raise SimulationError(
+                                "run(until=...) target is a recycled bare "
+                                "Timeout; bare timeouts are single-waiter "
+                                "(see repro.sim.events docstring)"
+                            )
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited "
+                            "event triggered (deadlock?)"
+                        )
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    count += 1
+                    event._state = PROCESSED
+                    waiter = event._waiter
+                    if waiter is not None:
+                        event._waiter = None
+                        self._active_process = waiter
+                        try:
+                            if event._exception is None:
+                                result = waiter._send(event._value)
+                            else:
+                                result = waiter._generator.throw(
+                                    event._exception)
+                        except BaseException as exc:
+                            waiter._finish(exc)
+                        else:
+                            if type(event) is Timeout \
+                                    and event._value is None \
+                                    and not event.callbacks \
+                                    and event not in targets:
+                                # (run targets — this loop's and any
+                                # outer run()'s — must stay PROCESSED so
+                                # their loops can observe completion)
+                                event._state = POOLED
+                                pool.append(event)
+                            try:
+                                rstate = result._state
+                            except AttributeError:
+                                waiter._yield_error(result)
+                            waiter._target = result
+                            if rstate == PROCESSED:
+                                waiter._resume(result)
+                            elif rstate == POOLED:
+                                raise SimulationError(
+                                    "yielded a recycled bare Timeout; bare "
+                                    "timeouts are single-waiter (see "
+                                    "repro.sim.events docstring)"
+                                )
+                            else:
+                                if result._waiter is None \
+                                        and not result.callbacks:
+                                    result._waiter = waiter
+                                else:
+                                    result.callbacks.append(waiter._resume_cb)
+                                self._active_process = None
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
+            finally:
+                targets.pop()
+                self._events_processed += count
+                _TOTAL_EVENTS[0] += count
             return target.value
 
         limit = float("inf") if until is None else float(until)
         if limit < self._now:
             raise SimulationError("run(until=...) is in the past")
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
+        try:
+            while queue and queue[0][0] <= limit:
+                when, _seq, event = pop(queue)
+                self._now = when
+                count += 1
+                event._state = PROCESSED
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    self._active_process = waiter
+                    try:
+                        if event._exception is None:
+                            result = waiter._send(event._value)
+                        else:
+                            result = waiter._generator.throw(event._exception)
+                    except BaseException as exc:
+                        waiter._finish(exc)
+                    else:
+                        if type(event) is Timeout and event._value is None \
+                                and not event.callbacks \
+                                and event not in self._run_targets:
+                            event._state = POOLED
+                            pool.append(event)
+                        try:
+                            rstate = result._state
+                        except AttributeError:
+                            waiter._yield_error(result)
+                        waiter._target = result
+                        if rstate == PROCESSED:
+                            waiter._resume(result)
+                        elif rstate == POOLED:
+                            raise SimulationError(
+                                "yielded a recycled bare Timeout; bare "
+                                "timeouts are single-waiter (see "
+                                "repro.sim.events docstring)"
+                            )
+                        else:
+                            if result._waiter is None \
+                                    and not result.callbacks:
+                                result._waiter = waiter
+                            else:
+                                result.callbacks.append(waiter._resume_cb)
+                            self._active_process = None
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+        finally:
+            self._events_processed += count
+            _TOTAL_EVENTS[0] += count
         if until is not None:
             self._now = limit
         return None
+
+
+__all__ = [
+    "Environment",
+    "total_events_processed",
+]

@@ -13,6 +13,26 @@ Events move through three states:
     environment's queue.
 ``PROCESSED``
     the event's callbacks have run; waiting processes have been resumed.
+
+Hot-path design
+---------------
+
+The kernel is the innermost loop of every benchmark, so the event classes
+are tuned for allocation rate and dispatch cost rather than generality:
+
+* every class declares ``__slots__`` — no per-event ``__dict__``, smaller
+  objects, faster attribute access;
+* :class:`AllOf` is counter-based and registers **one** bound method as the
+  callback for all of its children instead of a per-child closure;
+* bare timeouts (``env.timeout(delay)`` with no value) are recycled through
+  a per-environment free list — see :meth:`Environment.timeout`.
+
+The pooling fast path imposes one (checked-by-convention) contract: a bare
+``Timeout`` must be consumed by a single waiter and must not be inspected
+after the waiting process has advanced past a later yield. Every use in
+this repository is of the form ``yield env.timeout(delay)``, which is safe
+by construction. Create the timeout with an explicit ``value`` (or use
+``Event`` + ``succeed``) if you need to share or retain it.
 """
 
 from __future__ import annotations
@@ -25,6 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 PENDING = "pending"
 TRIGGERED = "triggered"
 PROCESSED = "processed"
+#: Internal marker for a Timeout parked on the environment's free list.
+POOLED = "pooled"
 
 
 class SimulationError(Exception):
@@ -39,9 +61,20 @@ class Event:
     waiting process.
     """
 
+    __slots__ = ("env", "callbacks", "_waiter", "_value", "_exception",
+                 "_state")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] = []
+        # Fast path for the overwhelmingly common case of exactly one
+        # waiting process: the first process to wait on a callback-free
+        # event is stored here instead of allocating into ``callbacks``,
+        # and the run loop resumes it without a callback indirection.
+        # Invariant: ``_waiter`` is only ever the *first* registration;
+        # later registrations append to ``callbacks`` and are dispatched
+        # after the waiter, preserving registration order.
+        self._waiter: Optional["Process"] = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._state = PENDING
@@ -60,11 +93,11 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exception is None
+        return self._state != PENDING and self._exception is None
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
+        if self._state == PENDING:
             raise SimulationError("event value read before trigger")
         if self._exception is not None:
             raise self._exception
@@ -73,7 +106,7 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._state != PENDING:
             raise SimulationError("event already triggered")
         self._value = value
         self._state = TRIGGERED
@@ -87,7 +120,7 @@ class Event:
         event, which makes failure injection (dead servers, dropped
         messages) straightforward.
         """
-        if self.triggered:
+        if self._state != PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -99,16 +132,29 @@ class Event:
     # -- kernel hooks ------------------------------------------------------
     def _run_callbacks(self) -> None:
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter._resume(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} state={self._state}>"
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after its creation."""
+    """An event that triggers ``delay`` time units after its creation.
+
+    Bare timeouts (``value is None``) are eligible for the environment's
+    free-list; :meth:`Environment.timeout` reuses a recycled instance
+    instead of allocating where possible.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -123,11 +169,12 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self._value = None
         self._state = TRIGGERED
-        self.callbacks.append(process._resume)
+        self._waiter = process
         env._schedule(self)
 
 
@@ -139,58 +186,121 @@ class Process(Event):
     simply by yielding them.
     """
 
+    __slots__ = ("_generator", "_send", "_target", "_resume_cb")
+
     def __init__(self, env: "Environment", generator) -> None:
-        if not hasattr(generator, "send"):
-            raise SimulationError("process() requires a generator")
+        try:
+            self._send = generator.send
+        except AttributeError:
+            raise SimulationError("process() requires a generator") from None
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method for the process's lifetime: appending
+        # ``self._resume`` directly would allocate a fresh bound method
+        # per yield.
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._state == PENDING
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the triggered event's outcome."""
-        self.env._active_process = self
+        """Advance the generator with the triggered event's outcome.
+
+        This is the kernel's hottest callback; everything it needs is
+        hoisted into locals, and each consumed bare timeout is returned to
+        the environment's free list (the process was its only waiter — see
+        the module docstring for the pooling contract).
+
+        The run loop in :meth:`Environment.run` inlines the first
+        iteration of this trampoline for single-waiter events; keep the
+        two in lockstep.
+        """
+        env = self.env
+        env._active_process = self
+        send = self._send
         while True:
             try:
-                if event._exception is not None:
-                    target = self._generator.throw(event._exception)
+                if event._exception is None:
+                    target = send(event._value)
                 else:
-                    target = self._generator.send(event._value)
+                    target = self._generator.throw(event._exception)
             except StopIteration as stop:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
-                self.env._active_process = None
+                env._active_process = None
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
                 self.fail(exc)
                 return
 
-            if not isinstance(target, Event):
-                self.env._active_process = None
-                error = SimulationError(
-                    f"process yielded a non-event: {target!r}"
-                )
-                self._generator.throw(error)
-                raise error
+            # The generator has moved past `event`: a bare pooled timeout
+            # can be recycled now (nothing else may wait on or inspect it;
+            # a run(until=event) target is exempt — the run loop still
+            # needs to observe its PROCESSED state — and so is a timeout
+            # with callbacks still pending, e.g. a second registrant not
+            # yet dispatched by Event._run_callbacks).
+            if type(event) is Timeout and event._value is None \
+                    and event._state == PROCESSED \
+                    and not event.callbacks \
+                    and event not in env._run_targets:
+                event._state = POOLED
+                env._timeout_pool.append(event)
+
+            try:
+                state = target._state
+            except AttributeError:
+                self._yield_error(target)
 
             self._target = target
-            if target.processed:
+            if state == PROCESSED:
                 # Already resolved: loop immediately with its outcome.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            if state == POOLED:
+                raise SimulationError(
+                    "yielded a recycled bare Timeout; bare timeouts are "
+                    "single-waiter (see repro.sim.events docstring)"
+                )
+            if target._waiter is None and not target.callbacks:
+                target._waiter = self
+            else:
+                target.callbacks.append(self._resume_cb)
             break
+        env._active_process = None
+
+    # -- helpers for the inlined resume in Environment.run -----------------
+    def _finish(self, exc: BaseException) -> None:
+        """Terminal outcome of the generator: return value or failure."""
         self.env._active_process = None
+        if isinstance(exc, StopIteration):
+            self.succeed(exc.value)
+        elif isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise exc
+        else:
+            self.fail(exc)
+
+    def _yield_error(self, target: Any) -> None:
+        """The generator yielded something that is not an event."""
+        self.env._active_process = None
+        error = SimulationError(f"process yielded a non-event: {target!r}")
+        self._generator.throw(error)
+        raise error  # pragma: no cover - generator swallowed the throw
 
 
 class Condition(Event):
-    """Base for composite events over a fixed set of child events."""
+    """Base for composite events over a fixed set of child events.
+
+    The subclass hook ``_on_child`` is registered *once* as a bound method
+    and appended to every child's callback list — a counter in
+    ``_remaining`` replaces any per-child closure state.
+    """
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -202,11 +312,17 @@ class Condition(Event):
         if not self.events:
             self.succeed([])
             return
+        on_child = self._on_child
         for child in self.events:
-            if child.processed:
-                self._on_child(child)
+            if child._state == PROCESSED:
+                on_child(child)
+            elif child._state == POOLED:
+                raise SimulationError(
+                    "condition over a recycled bare Timeout; bare timeouts "
+                    "are single-waiter (see repro.sim.events docstring)"
+                )
             else:
-                child.callbacks.append(self._on_child)
+                child.callbacks.append(on_child)
 
     def _on_child(self, child: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -219,22 +335,27 @@ class AllOf(Condition):
     child fails, the condition fails with that child's exception.
     """
 
+    __slots__ = ()
+
     def _on_child(self, child: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
         if child._exception is not None:
             self.fail(child._exception)
             return
-        self._remaining -= 1
-        if self._remaining == 0:
+        remaining = self._remaining - 1
+        self._remaining = remaining
+        if remaining == 0:
             self.succeed([event._value for event in self.events])
 
 
 class AnyOf(Condition):
     """Triggers as soon as one child event triggers."""
 
+    __slots__ = ()
+
     def _on_child(self, child: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
         if child._exception is not None:
             self.fail(child._exception)

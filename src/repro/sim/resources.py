@@ -24,6 +24,8 @@ from .events import Event, SimulationError
 class Request(Event):
     """Pending acquisition of one unit of a :class:`Resource`."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -31,6 +33,9 @@ class Request(Event):
 
 class Resource:
     """A capacity-limited, strictly FIFO resource."""
+
+    __slots__ = ("env", "capacity", "_users", "_waiting", "_busy_since",
+                 "busy_time", "total_requests")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -93,6 +98,8 @@ class Resource:
 
 class Store:
     """An unbounded FIFO channel of items between processes."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

@@ -84,6 +84,11 @@ class StorageServer:
         arrays and use this path so the store itself is not re-decoded per
         request. Timing and contention are identical to
         :meth:`multiget_process`.
+
+        The gather hot path no longer spawns this generator: its fused
+        callback twin, ``repro.core.operators.gather._ServerFetch``, drives
+        the same pipeline ``Resource`` with the same stage order. Keep the
+        two in lockstep when changing service semantics.
         """
         request = self.pipeline.request()
         yield request

@@ -39,6 +39,31 @@ class TestEmit:
         assert payload["title"] == "Title"
         assert payload["rows"] == [[1]]
 
+    def test_artifacts_carry_perf_metadata(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+        from repro.sim import Environment
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        harness.emit("First", ["h"], [[1]], "meta_probe_a")
+        # Simulated work between artifacts shows up in the next metadata
+        # window as kernel events.
+        env = Environment()
+
+        def ticker():
+            for _ in range(100):
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        env.run()
+        harness.emit("Second", ["h"], [[2]], "meta_probe_b")
+        payload = json.loads((tmp_path / "meta_probe_b.json").read_text())
+        meta = payload["metadata"]
+        assert set(meta) == {"wall_clock_seconds", "kernel_events",
+                             "events_per_second"}
+        assert meta["wall_clock_seconds"] >= 0
+        assert meta["kernel_events"] >= 100  # the ticker's events at least
+        assert meta["events_per_second"] >= 0
+
 
 class TestContext:
     def test_memoized_per_key(self):

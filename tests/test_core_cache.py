@@ -1,8 +1,10 @@
 """Processor cache tests: LRU/FIFO/LFU policies, capacity, statistics."""
 
+import numpy as np
 import pytest
 
 from repro.core import ProcessorCache
+from repro.core.cache import LFU_COMPACT_FACTOR, LFU_COMPACT_SLACK
 
 
 class TestBasics:
@@ -139,6 +141,98 @@ class TestCapacityAndEviction:
 
     def test_empty_hit_rate_zero(self):
         assert ProcessorCache(10).stats.hit_rate() == 0.0
+
+
+class TestArrayNativeProbes:
+    def test_get_many_ndarray_returns_ndarray_missed_in_order(self):
+        cache = ProcessorCache(100)
+        cache.put(2, 5)
+        missed = cache.get_many(np.array([1, 2, 3], dtype=np.int64))
+        assert isinstance(missed, np.ndarray)
+        assert missed.dtype == np.int64
+        assert missed.tolist() == [1, 3]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+
+    def test_get_many_empty_ndarray(self):
+        cache = ProcessorCache(100)
+        missed = cache.get_many(np.empty(0, dtype=np.int64))
+        assert isinstance(missed, np.ndarray)
+        assert missed.size == 0
+
+    def test_put_many_array_form(self):
+        cache = ProcessorCache(100)
+        cache.put_many(np.array([7, 8], dtype=np.int64),
+                       np.array([10, 20], dtype=np.int64))
+        assert cache.size_bytes == 30
+        # Array-admitted keys are plain ints: probing by int hits.
+        assert cache.get_many([7, 8]) == []
+
+    def test_array_and_scalar_probes_share_keys(self):
+        cache = ProcessorCache(100)
+        cache.put(5, 10)
+        assert cache.get_many(np.array([5], dtype=np.int64)).size == 0
+        cache.put_many(np.array([6], dtype=np.int64),
+                       np.array([10], dtype=np.int64))
+        assert cache.get(6) is True
+
+    def test_get_many_recency_matches_scalar_gets(self):
+        batched = ProcessorCache(30, policy="lru")
+        scalar = ProcessorCache(30, policy="lru")
+        for cache in (batched, scalar):
+            for key in ("a", "b", "c"):
+                cache.put(key, 10)
+        batched.get_many(["a", "b"])
+        scalar.get("a")
+        scalar.get("b")
+        for cache in (batched, scalar):
+            cache.put("d", 10)
+        assert ("c" in batched) == ("c" in scalar)
+        assert "c" not in batched  # c was the only untouched key
+
+
+class TestLfuHeapBound:
+    def test_heap_bounded_across_long_hit_evict_cycle(self):
+        # Satellite regression: the LFU snapshot heap must stay O(entries)
+        # under sustained churn, not O(total hits).
+        cache = ProcessorCache(100, policy="lfu")
+        bound = LFU_COMPACT_FACTOR * 10 + LFU_COMPACT_SLACK + 10
+        for round_ in range(200):
+            for key in range(10):
+                cache.put((round_, key), 10)  # forces steady eviction
+            for _ in range(20):
+                cache.get_many([(round_, key) for key in range(10)])
+            assert len(cache._heap) <= bound, f"heap grew at round {round_}"
+        assert cache.stats.evictions > 0
+
+    def test_hot_hits_do_not_touch_heap(self):
+        cache = ProcessorCache(100, policy="lfu")
+        for key in range(5):
+            cache.put(key, 10)
+        heap_size = len(cache._heap)
+        for _ in range(50):
+            cache.get_many(list(range(5)))
+        assert len(cache._heap) == heap_size
+
+    def test_eviction_respects_frequencies_after_push_free_hits(self):
+        cache = ProcessorCache(30, policy="lfu")
+        cache.put("a", 10)
+        cache.put("b", 10)
+        cache.put("c", 10)
+        cache.get_many(["a", "a", "c"])  # b stays at count 1
+        cache.put("d", 10)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_lfu_survives_evict_readmit_cycles(self):
+        cache = ProcessorCache(20, policy="lfu")
+        cache.put("hot", 10)
+        for _ in range(5):
+            cache.get("hot")
+        for i in range(10):
+            cache.put(("cold", i), 10)  # each churns the second slot
+        assert "hot" in cache  # high count protects it throughout
+        assert cache.stats.evictions == 9
 
 
 class TestLruOrderProperty:

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim import Environment, Resource, SimulationError, Store
+from repro.sim import (
+    Environment,
+    Resource,
+    SimulationError,
+    Store,
+    total_events_processed,
+)
 
 
 def test_clock_starts_at_zero():
@@ -445,6 +451,471 @@ class TestStore:
         store.put(1)
         store.put(2)
         assert len(store) == 2
+
+
+class TestRunUntilEdgeCases:
+    """Regression net pinned down before the kernel hot-path rewrite."""
+
+    def test_run_until_executes_event_exactly_at_limit(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(5)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=5)
+        assert fired == [5]
+        assert env.now == 5
+
+    def test_run_until_leaves_later_events_queued(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(3)
+            fired.append("early")
+            yield env.timeout(3)
+            fired.append("late")
+
+        env.process(proc())
+        env.run(until=4)
+        assert fired == ["early"]
+        assert env.peek() == 6  # the second timeout is still pending
+        env.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_now_is_allowed_and_advances_nothing(self):
+        env = Environment()
+        env.run(until=5)
+        env.run(until=5)  # not "in the past": exactly now
+        assert env.now == 5
+
+    def test_run_until_with_empty_queue_still_advances_clock(self):
+        env = Environment()
+        env.run(until=12.5)
+        assert env.now == 12.5
+        assert env.peek() == float("inf")
+
+    def test_run_until_already_processed_event_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return "answer"
+
+        process = env.process(proc())
+        env.run()
+        assert process.processed
+        assert env.run(until=process) == "answer"
+
+    def test_run_until_failed_event_reraises(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1)
+            raise ValueError("exploded")
+
+        process = env.process(broken())
+        with pytest.raises(ValueError, match="exploded"):
+            env.run(until=process)
+
+    def test_zero_delay_timeout_fires_at_current_time(self):
+        env = Environment(initial_time=2.0)
+        fired = []
+
+        def proc():
+            yield env.timeout(0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [2.0]
+
+
+class TestPeek:
+    def test_peek_does_not_advance_clock_or_pop(self):
+        env = Environment()
+        env.timeout(3)
+        assert env.peek() == 3
+        assert env.peek() == 3  # idempotent
+        assert env.now == 0.0
+
+    def test_peek_tracks_queue_head_across_steps(self):
+        env = Environment()
+        env.timeout(1)
+        env.timeout(4)
+        env.step()
+        assert env.peek() == 4
+        env.step()
+        assert env.peek() == float("inf")
+
+    def test_step_processes_exactly_one_event(self):
+        env = Environment()
+        order = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(proc("a", 1))
+        env.process(proc("b", 1))
+        # Two Initialize events, then the two timeouts.
+        env.step()
+        env.step()
+        assert order == []
+        env.step()
+        assert order == ["a"]
+
+
+class TestConditionExceptions:
+    def test_all_of_first_failure_wins_over_later_failures(self):
+        env = Environment()
+        caught = []
+
+        def failer(delay, message):
+            yield env.timeout(delay)
+            raise RuntimeError(message)
+
+        def waiter():
+            try:
+                yield env.all_of(
+                    [env.process(failer(2, "second")),
+                     env.process(failer(1, "first"))]
+                )
+            except RuntimeError as exc:
+                caught.append((env.now, str(exc)))
+
+        env.process(waiter())
+        env.run()
+        assert caught == [(1, "first")]
+
+    def test_all_of_failure_does_not_wait_for_slow_children(self):
+        env = Environment()
+        caught = []
+
+        def failer():
+            yield env.timeout(1)
+            raise RuntimeError("early death")
+
+        def waiter():
+            try:
+                yield env.all_of([env.process(failer()), env.timeout(100)])
+            except RuntimeError:
+                caught.append(env.now)
+
+        env.process(waiter())
+        env.run()
+        assert caught == [1]
+
+    def test_all_of_over_already_processed_children(self):
+        env = Environment()
+        done = []
+
+        def child(value):
+            yield env.timeout(1)
+            return value
+
+        children = [env.process(child("x")), env.process(child("y"))]
+
+        def late_waiter():
+            yield env.timeout(5)  # children long finished by now
+            values = yield env.all_of(children)
+            done.append((env.now, values))
+
+        env.process(late_waiter())
+        env.run()
+        assert done == [(5, ["x", "y"])]
+
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+        caught = []
+
+        def failer():
+            yield env.timeout(1)
+            raise RuntimeError("fast failure")
+
+        def waiter():
+            try:
+                yield env.any_of([env.process(failer()), env.timeout(10)])
+            except RuntimeError as exc:
+                caught.append((env.now, str(exc)))
+
+        env.process(waiter())
+        env.run()
+        assert caught == [(1, "fast failure")]
+
+    def test_any_of_ignores_failures_after_first_success(self):
+        env = Environment()
+        results = []
+
+        def failer():
+            yield env.timeout(5)
+            raise RuntimeError("too late to matter")
+
+        def waiter():
+            value = yield env.any_of(
+                [env.timeout(1, value="winner"), env.process(failer())]
+            )
+            results.append(value)
+
+        env.process(waiter())
+        env.run()  # the late failure must not escape the kernel either
+        assert results == ["winner"]
+
+    def test_any_of_over_already_processed_child(self):
+        env = Environment()
+        results = []
+
+        def child():
+            yield env.timeout(1)
+            return "done"
+
+        finished = env.process(child())
+
+        def late_waiter():
+            yield env.timeout(3)
+            value = yield env.any_of([finished, env.timeout(50)])
+            results.append((env.now, value))
+
+        env.process(late_waiter())
+        env.run()
+        assert results == [(3, "done")]
+
+    def test_condition_rejects_mixed_environments(self):
+        env_a = Environment()
+        env_b = Environment()
+        with pytest.raises(SimulationError):
+            env_a.all_of([env_a.timeout(1), env_b.timeout(1)])
+
+
+class TestTieBreaking:
+    def test_equal_timestamps_resolve_in_scheduling_order(self):
+        env = Environment()
+        order = []
+
+        def leaf(name):
+            yield env.timeout(2)
+            order.append(name)
+
+        def spawner():
+            yield env.timeout(1)
+            # Both children scheduled at the same instant, from inside a
+            # callback: dispatch must follow creation order.
+            env.process(leaf("first-created"))
+            env.process(leaf("second-created"))
+
+        env.process(spawner())
+        env.run()
+        assert order == ["first-created", "second-created"]
+
+    def test_interleaved_sources_keep_global_sequence_order(self):
+        env = Environment()
+        order = []
+
+        def waiter(name, gate):
+            yield gate
+            order.append(name)
+
+        def direct(name):
+            yield env.timeout(4)
+            order.append(name)
+
+        gate_a, gate_b = env.event(), env.event()
+        env.process(waiter("wait-a", gate_a))
+        env.process(direct("timeout-x"))
+        env.process(waiter("wait-b", gate_b))
+
+        def opener():
+            yield env.timeout(4)
+            gate_b.succeed()  # triggered after the t=4 timeouts fired
+            gate_a.succeed()
+
+        env.process(opener())
+        env.run()
+        # timeout-x was scheduled first (t=4); opener's timeout is next,
+        # then the gates trigger in succeed() order at the same instant.
+        assert order == ["timeout-x", "wait-b", "wait-a"]
+
+    def test_tie_break_is_stable_across_runs(self):
+        def trace():
+            env = Environment()
+            log = []
+
+            def worker(name):
+                for _ in range(3):
+                    yield env.timeout(1)
+                    log.append((name, env.now))
+
+            for name in ("a", "b", "c", "d"):
+                env.process(worker(name))
+            env.run()
+            return log
+
+        assert trace() == trace()
+
+
+class TestEventAccounting:
+    def test_events_processed_counts_dispatches(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            yield env.timeout(2)
+
+        env.process(proc())
+        env.run()
+        # Initialize + two timeouts + the process-completion event.
+        assert env.events_processed == 4
+
+    def test_total_events_is_process_wide_and_monotonic(self):
+        before = total_events_processed()
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        assert total_events_processed() - before == env.events_processed
+
+    def test_run_until_event_counts_too(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+
+        env.run(until=env.process(proc()))
+        assert env.events_processed > 0
+
+
+class TestTimeoutPooling:
+    def test_bare_timeouts_are_recycled(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            first = env.timeout(1)
+            yield first
+            seen.append(first)
+            yield env.timeout(1)
+            third = env.timeout(1)  # the free list serves `first` again
+            seen.append(third)
+            yield third
+
+        env.process(proc())
+        env.run()
+        assert seen[0] is seen[1]
+
+    def test_valued_timeouts_are_never_recycled(self):
+        env = Environment()
+        checks = []
+
+        def proc():
+            valued = env.timeout(1, value="payload")
+            got = yield valued
+            checks.append(got)
+            yield env.timeout(1)
+            fresh = env.timeout(1)
+            checks.append(fresh is not valued)
+            yield fresh
+            checks.append(valued.value)  # valued stays inspectable
+
+        env.process(proc())
+        env.run()
+        assert checks == ["payload", True, "payload"]
+
+    def test_pooled_timeout_keeps_negative_delay_check(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)  # populate the free list
+            yield env.timeout(1)
+            with pytest.raises(SimulationError):
+                env.timeout(-1)
+            yield env.timeout(2)
+
+        env.run(until=env.process(proc()))
+
+    def test_yielding_a_recycled_bare_timeout_is_loud(self):
+        env = Environment()
+
+        def bad():
+            retained = env.timeout(1)
+            yield retained
+            yield env.timeout(1)  # `retained` is recycled at this point
+            yield retained  # contract violation: must not come back
+
+        process = env.process(bad())
+        with pytest.raises(SimulationError, match="recycled bare Timeout"):
+            env.run(until=process)
+
+    def test_run_until_bare_timeout_shared_with_process(self):
+        # The run target is exempt from recycling: even when a process
+        # consumes the same bare timeout, run(until=t) stops at t.
+        env = Environment()
+        shared = env.timeout(5)
+
+        def proc():
+            yield shared
+            yield env.timeout(1)
+            yield env.timeout(1)
+
+        env.process(proc())
+        assert env.run(until=shared) is None
+        assert env.now == 5.0
+
+    def test_run_until_target_with_two_waiters_still_stops_at_target(self):
+        # Even the second waiter (resumed through Process._resume rather
+        # than the inlined dispatch) must not recycle the run target out
+        # from under the loop.
+        env = Environment()
+        shared = env.timeout(1)
+        resumed = []
+
+        def waiter(name):
+            yield shared
+            resumed.append(name)
+            yield env.timeout(1)
+
+        env.process(waiter("first"))
+        env.process(waiter("second"))
+        assert env.run(until=shared) is None
+        assert env.now == 1.0
+        assert resumed == ["first", "second"]
+
+    def test_step_driven_shared_timeout_is_not_recycled_under_second_waiter(self):
+        # step() dispatches through Event._run_callbacks, where the first
+        # waiter resumes while the second registrant still sits in the
+        # callbacks list — the timeout must not enter the pool then.
+        env = Environment()
+        shared = env.timeout(1)
+        stamps = []
+
+        def waiter(name):
+            yield shared
+            yield env.timeout(3)  # must NOT be served the shared instance
+            stamps.append((name, env.now))
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+        while env.peek() != float("inf"):
+            env.step()
+        assert stamps == [("a", 4.0), ("b", 4.0)]
+
+    def test_pooling_does_not_change_timing(self):
+        env = Environment()
+        stamps = []
+
+        def proc():
+            for delay in (1, 2, 3, 4):
+                yield env.timeout(delay)
+                stamps.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert stamps == [1, 3, 6, 10]
 
 
 def test_determinism_same_program_same_trace():
