@@ -1,0 +1,37 @@
+"""Figure 10, live edition: smart routing under real update churn.
+
+The acceptance shape: (a) smart routing (embed/adaptive) retains an
+advantage over hash routing while the graph churns under live traffic,
+and (b) at the same churn rate, periodic incremental refresh of the
+routing assets beats letting staleness accumulate — for every smart
+scheme. Margins are loose: simulated results are deterministic per scale,
+but the gate must hold at full scale and the CI smoke scale alike.
+"""
+
+from repro.bench import fig10_live_updates, live_update_summary
+
+
+def test_fig10_live_updates(benchmark):
+    rows = benchmark.pedantic(fig10_live_updates, rounds=1, iterations=1)
+    headline = live_update_summary(rows)
+
+    # (a) Smart routing beats hash under live churn (with refresh on).
+    assert headline["embed_refresh_ms"] <= headline["hash_ms"] * 0.99
+    assert headline["adaptive_refresh_ms"] <= headline["hash_ms"] * 0.95
+    assert headline["landmark_refresh_ms"] <= headline["hash_ms"] * 0.95
+
+    # (b) Incremental refresh beats no-refresh at the same churn rate.
+    assert headline["embed_refresh_ms"] <= headline["embed_stale_ms"] * 0.995
+    assert headline["landmark_refresh_ms"] <= headline["landmark_stale_ms"] * 0.98
+    assert headline["adaptive_refresh_ms"] <= headline["adaptive_stale_ms"] * 0.98
+
+    # The run really churned: updates applied, nodes added, records
+    # rewritten, and the refreshing configs actually refreshed.
+    by_config = {(row[0], row[1]): row for row in rows}
+    hash_row = by_config[("hash", "none")]
+    assert hash_row[5] > 0 and hash_row[6] > 0 and hash_row[7] > 0
+    refreshing = [row for row in rows if row[1] != "none"]
+    assert all(row[8] > 0 for row in refreshing)
+    # Refresh bounds staleness; no-refresh accumulates it.
+    assert all(row[9] <= hash_row[9] for row in refreshing)
+    assert hash_row[9] > 0

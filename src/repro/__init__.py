@@ -43,6 +43,7 @@ from .core import (
     QuerySession,
     RandomWalkQuery,
     ReachabilityQuery,
+    UpdateReport,
     WorkloadReport,
     query_ids_from,
     reset_query_ids,
@@ -56,8 +57,9 @@ from .costs import (
     CostModel,
     NetworkModel,
 )
+from .graph import GraphUpdate
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ClusterConfig",
@@ -68,6 +70,7 @@ __all__ = [
     "GRoutingCluster",
     "GraphAssets",
     "GraphService",
+    "GraphUpdate",
     "INFINIBAND",
     "KSourceReachabilityQuery",
     "NeighborAggregationQuery",
@@ -79,6 +82,7 @@ __all__ = [
     "QuerySession",
     "RandomWalkQuery",
     "ReachabilityQuery",
+    "UpdateReport",
     "WorkloadReport",
     "query_ids_from",
     "reset_query_ids",

@@ -26,6 +26,7 @@ _ORDER = [
     "table2_preprocessing",
     "table3_storage",
     "fig10_graph_updates",
+    "fig10_live_updates",
     "fig11a_load_factor",
     "fig11b_alpha",
     "fig12a_embedding_error",

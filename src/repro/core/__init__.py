@@ -35,6 +35,7 @@ from .service import (
     GraphService,
     QuerySession,
 )
+from .updates import LiveUpdateManager, UpdateReport
 from .routing import (
     AdaptiveRouting,
     EmbedRouting,
@@ -56,6 +57,7 @@ __all__ = [
     "HashRouting",
     "KSourceReachabilityQuery",
     "LandmarkRouting",
+    "LiveUpdateManager",
     "NeighborAggregationQuery",
     "NeighborhoodSampleQuery",
     "NextReadyRouting",
@@ -77,6 +79,7 @@ __all__ = [
     "RoutingFeedback",
     "RoutingStrategy",
     "UnknownOperatorError",
+    "UpdateReport",
     "UnknownQueryTypeError",
     "WorkloadReport",
     "default_registry",

@@ -1,15 +1,25 @@
-"""Shared, immutable per-graph artifacts for cluster simulations.
+"""Shared per-graph artifacts for cluster simulations.
 
 Experiment sweeps run dozens of cluster configurations over the *same*
 graph. Everything that depends only on the graph — CSR views, record
 sizes, storage ownership, landmark tables, embeddings — is built once here
 and memoized, so a sweep pays preprocessing once instead of per
 configuration. All artifacts are read-only from the cluster's perspective.
+
+Live graph updates (see :mod:`repro.core.updates`) are the one sanctioned
+mutation path: :meth:`GraphAssets.apply_graph_updates` appends new nodes
+at the *end* of the compact index space (so cache keys, record-size rows
+and owner entries for existing nodes never move), re-sizes dirty records,
+and splices only the dirty adjacency rows into the CSR views. The
+memoized landmark/embedding artifacts are deliberately **not** refreshed
+here — they are preprocessing snapshots, and keeping them stale (with
+incremental refresh layered on top by the update manager) is exactly the
+regime the paper's Fig 10 studies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 import numpy as np
 
@@ -45,13 +55,19 @@ class GraphAssets:
     @property
     def csr_out(self) -> CSRGraph:
         if self._csr_out is None:
-            self._csr_out = CSRGraph.from_graph(self.graph, direction="out")
+            # node_ids pins the compact order: identical to sorted order on
+            # a fresh graph, and the append-stable order after live updates.
+            self._csr_out = CSRGraph.from_graph(
+                self.graph, direction="out", node_ids=self.node_ids
+            )
         return self._csr_out
 
     @property
     def csr_in(self) -> CSRGraph:
         if self._csr_in is None:
-            self._csr_in = CSRGraph.from_graph(self.graph, direction="in")
+            self._csr_in = CSRGraph.from_graph(
+                self.graph, direction="in", node_ids=self.node_ids
+            )
         return self._csr_in
 
     @property
@@ -121,6 +137,94 @@ class GraphAssets:
                 table,
             )
         return self._landmark_indexes[key]
+
+    # -- live graph updates --------------------------------------------------
+    def _compact_row(self, node: int, direction: str) -> list:
+        graph = self.graph
+        if direction == "out":
+            adjacency: Iterable[int] = graph.out_neighbors(node)
+        elif direction == "in":
+            adjacency = graph.in_neighbors(node)
+        else:
+            adjacency = graph.neighbors(node)
+        compact = self.compact
+        return [compact[v] for v in adjacency]
+
+    def _splice_csr(
+        self, csr: CSRGraph, direction: str,
+        dirty_existing: Iterable[int], new_ids: list,
+    ) -> CSRGraph:
+        new_rows = {
+            self.compact[node]: self._compact_row(node, direction)
+            for node in dirty_existing
+        }
+        appended = [self._compact_row(node, direction) for node in new_ids]
+        return csr.with_updated_rows(
+            new_rows,
+            appended_rows=appended,
+            appended_node_ids=np.asarray(new_ids, dtype=np.int64),
+        )
+
+    def apply_graph_updates(
+        self, dirty_ids: Set[int], new_ids: Set[int]
+    ) -> np.ndarray:
+        """Refresh graph-derived artifacts after ``self.graph`` mutated.
+
+        ``dirty_ids`` are the nodes whose adjacency changed (including the
+        ``new_ids`` subset that did not exist before). New nodes are
+        appended to the compact index space in sorted order — existing
+        compact indices are stable for the lifetime of the assets, which
+        is what lets processor caches keep their keys across updates.
+        Returns the dirty nodes' compact indices (sorted), the keys whose
+        cached/stored records must be rewritten and invalidated.
+        """
+        ordered_new = sorted(new_ids)
+        dirty_existing = sorted(dirty_ids - new_ids)
+        if ordered_new:
+            start = len(self.node_ids)
+            self.node_ids = np.concatenate([
+                self.node_ids,
+                np.asarray(ordered_new, dtype=np.int64),
+            ])
+            for offset, node in enumerate(ordered_new):
+                self.compact[node] = start + offset
+            if self._record_sizes is not None:
+                self._record_sizes = np.concatenate([
+                    self._record_sizes,
+                    np.zeros(len(ordered_new), dtype=np.int64),
+                ])
+            for num_servers, owners in self._owners.items():
+                extra = np.array(
+                    [hash_node_id(n) % num_servers for n in ordered_new],
+                    dtype=np.int32,
+                )
+                self._owners[num_servers] = np.concatenate([owners, extra])
+        if self._record_sizes is not None:
+            sizes = self._record_sizes
+            for node in dirty_existing:
+                sizes[self.compact[node]] = (
+                    record_for_node(self.graph, node).size_bytes()
+                )
+            for node in ordered_new:
+                sizes[self.compact[node]] = (
+                    record_for_node(self.graph, node).size_bytes()
+                )
+        # Splice the materialised CSR views; lazily-built ones stay lazy
+        # (their next build sees the updated graph and node order).
+        self.csr_both = self._splice_csr(
+            self.csr_both, "both", dirty_existing, ordered_new
+        )
+        if self._csr_out is not None:
+            self._csr_out = self._splice_csr(
+                self._csr_out, "out", dirty_existing, ordered_new
+            )
+        if self._csr_in is not None:
+            self._csr_in = self._splice_csr(
+                self._csr_in, "in", dirty_existing, ordered_new
+            )
+        return np.array(
+            sorted(self.compact[node] for node in dirty_ids), dtype=np.int64
+        )
 
     def embedding(
         self,

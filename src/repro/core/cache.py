@@ -54,6 +54,7 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     rejected: int = 0  # records too large to ever fit
+    invalidations: int = 0  # entries dropped because their record changed
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -117,9 +118,45 @@ class ProcessorCache:
         An ``int64`` ndarray input returns an ``int64`` ndarray of misses
         (the gather hot path); any other iterable returns a list, matching
         the input's key objects.
+
+        Probe semantics are **per distinct key**: a key repeated within one
+        batch counts one hit or one miss (first occurrence) and appears at
+        most once in the missed output — a batch is one logical probe of
+        its key set, and the repeat cannot have been fetched in between.
+        Without this, duplicated frontier entries would inflate hit/miss
+        statistics and trigger duplicate storage fetches downstream. The
+        gather path always passes ``np.unique``-deduplicated (strictly
+        increasing) frontiers, for which the duplicate check is one
+        vectorised comparison.
         """
         array_in = isinstance(keys, np.ndarray)
-        key_list = keys.tolist() if array_in else keys
+        if array_in:
+            key_list = keys.tolist()
+            n = len(key_list)
+            if n <= 1:
+                unique = True
+            elif n <= 64:
+                # Small batches dominate the gather path; one C-level set
+                # build beats numpy's fixed dispatch overhead there.
+                unique = len(set(key_list)) == n
+            else:
+                # Large frontiers come from np.unique (strictly
+                # increasing): one vectorised comparison confirms it.
+                unique = bool((keys[1:] > keys[:-1]).all())
+            if not unique:
+                # Keep the first occurrence of each key, in probe order.
+                seen = set()
+                key_list = [
+                    key for key in key_list
+                    if key not in seen and not seen.add(key)
+                ]
+        else:
+            key_list = []
+            seen = set()
+            for key in keys:
+                if key not in seen:
+                    seen.add(key)
+                    key_list.append(key)
         entries = self._entries
         missed: List[Hashable] = []
         append = missed.append
@@ -162,7 +199,11 @@ class ProcessorCache:
         """Admit ``key`` occupying ``size`` bytes, evicting as needed."""
         if size < 0:
             raise ValueError("size must be >= 0")
-        if size > self.capacity_bytes:
+        if size > self.capacity_bytes or self.capacity_bytes == 0:
+            # The explicit zero-capacity check keeps the documented
+            # no-cache contract for zero-size records too: with
+            # capacity 0, ``size > capacity`` is false for ``size == 0``
+            # and the record used to slip in.
             self.stats.rejected += 1
             return
         entries = self._entries
@@ -197,11 +238,64 @@ class ProcessorCache:
         """
         put = self.put
         if sizes is not None:
+            if not isinstance(items, np.ndarray) or not isinstance(
+                sizes, np.ndarray
+            ):
+                raise ValueError(
+                    "put_many with sizes= takes two aligned ndarrays: "
+                    "put_many(keys_array, sizes_array); for Python "
+                    "iterables use put_many(iterable_of_(key, size)_pairs)"
+                )
+            if len(items) != len(sizes):
+                raise ValueError(
+                    f"put_many keys/sizes length mismatch: {len(items)} "
+                    f"keys vs {len(sizes)} sizes"
+                )
             for key, size in zip(items.tolist(), sizes.tolist(), strict=True):
                 put(key, size)
         else:
+            if isinstance(items, np.ndarray):
+                raise ValueError(
+                    "put_many(keys_array) is missing its sizes array; call "
+                    "either put_many(keys_array, sizes_array) with aligned "
+                    "ndarrays or put_many(iterable_of_(key, size)_pairs)"
+                )
             for key, size in items:
                 put(key, size)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate_many(
+        self, keys: Union[np.ndarray, Iterable[Hashable]]
+    ) -> int:
+        """Drop ``keys`` whose records changed (graph updates); returns the
+        number of resident entries removed.
+
+        Not an eviction (the entries aren't being displaced by capacity
+        pressure) and not a miss (nothing probed) — invalidations get
+        their own counter. Works for all policies; under LFU the
+        frequency table entry is dropped too, so a later re-admission
+        restarts the key's count, while any stale heap snapshots are
+        skipped lazily at eviction time exactly like snapshots of evicted
+        keys (and bounded by compaction).
+        """
+        key_list = keys.tolist() if isinstance(keys, np.ndarray) else keys
+        entries = self._entries
+        lfu = self.policy == "lfu"
+        freq = self._freq
+        removed = 0
+        for key in key_list:
+            entry = entries.pop(key, None)
+            if entry is None:
+                continue
+            self._bytes -= entry[0]
+            removed += 1
+            if lfu:
+                freq.pop(key, None)
+        if removed:
+            self.stats.invalidations += removed
+            if lfu:
+                self._maybe_compact()
+        return removed
 
     def clear(self) -> None:
         self._entries.clear()

@@ -124,6 +124,12 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
     ``stats`` unless ``count_in_stats`` is False (used for the query node
     itself, which Eq. 8 excludes from hit/miss accounting).
 
+    ``nodes`` is expected deduplicated (every built-in executor passes
+    ``np.unique`` output or a single node). The cache itself probes per
+    distinct key, so a duplicated frontier entry costs one fetch, not
+    two — but the ``len(nodes) - len(missed)`` hit accounting here would
+    overstate hits for it.
+
     Executors consume it with ``yield from`` — it runs inline in the
     calling process, so a sequential gather costs no extra ``Process``.
     Wrap it in ``env.process(...)`` only to overlap several gathers.

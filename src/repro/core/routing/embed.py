@@ -14,7 +14,7 @@ on that region — and the same centroid feeds the EMA on dispatch.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import AbstractSet, Optional, Sequence
 
 import numpy as np
 
@@ -38,7 +38,14 @@ class EmbedRouting(RoutingStrategy):
         alpha: float = 0.5,
         load_factor: float = 20.0,
         seed: int = 0,
+        staleness: Optional[AbstractSet[int]] = None,
     ) -> None:
+        """``staleness``, when given, is a live (usually shared) set of
+        node ids whose coordinates are currently stale — nodes the graph
+        changed under since they were (re-)embedded. Stale anchors are
+        treated exactly like unembedded ones (hash fallback) until the
+        update manager's incremental refresh clears the set; see
+        :mod:`repro.core.updates`."""
         if load_factor <= 0:
             raise ValueError("load_factor must be positive")
         self.embedding = embedding
@@ -47,12 +54,20 @@ class EmbedRouting(RoutingStrategy):
         self.tracker = ProcessorEMATracker.for_embedding(
             embedding.coords, num_processors, alpha=alpha, seed=seed
         )
+        self.staleness = staleness
         self.fallbacks = 0
 
     def _anchor_point(self, keys: Sequence[int]) -> Optional[np.ndarray]:
-        """Embedding point for the anchor set: coords, or their centroid."""
+        """Embedding point for the anchor set: coords, or their centroid.
+
+        Stale anchors contribute nothing — their coordinates predate the
+        graph change, and routing on them would confidently send the query
+        to where the node's neighborhood *used* to be."""
+        stale = self.staleness
         points = []
         for key in keys:
+            if stale and key in stale:
+                continue
             coords = self.embedding.coordinates_of(key)
             if coords is not None:
                 points.append(coords)

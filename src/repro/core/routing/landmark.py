@@ -13,7 +13,7 @@ processor closest to the anchor set as a whole.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import AbstractSet, Optional, Sequence
 
 import numpy as np
 
@@ -30,11 +30,22 @@ from .base import (
 class LandmarkRouting(RoutingStrategy):
     name = "landmark"
 
-    def __init__(self, index: LandmarkIndex, load_factor: float = 20.0) -> None:
+    def __init__(
+        self,
+        index: LandmarkIndex,
+        load_factor: float = 20.0,
+        staleness: Optional[AbstractSet[int]] = None,
+    ) -> None:
+        """``staleness``, when given, is a live (usually shared) set of
+        node ids whose index rows are currently stale — the graph changed
+        under them since their distances were computed. Stale anchors fall
+        back to hash routing until the update manager's incremental
+        refresh clears the set; see :mod:`repro.core.updates`."""
         if load_factor <= 0:
             raise ValueError("load_factor must be positive")
         self.index = index
         self.load_factor = load_factor
+        self.staleness = staleness
         self.fallbacks = 0  # queries routed without landmark information
 
     def _anchor_distances(self, keys: Sequence[int]) -> Optional[np.ndarray]:
@@ -43,9 +54,13 @@ class LandmarkRouting(RoutingStrategy):
         One anchor keeps its row untouched (the classic single-node path);
         several are combined entry-wise as the mean over the anchors whose
         row is finite there, with ``inf`` where no anchor has coverage.
+        Stale anchors (see ``staleness``) contribute nothing.
         """
+        stale = self.staleness
         rows = []
         for key in keys:
+            if stale and key in stale:
+                continue
             distances = self.index.processor_distances(key)
             if distances is not None and np.isfinite(distances).any():
                 rows.append(distances)

@@ -21,7 +21,14 @@ steady state. :class:`GraphService` is the serving-side entry point:
   state via windowed :meth:`~QuerySession.report`;
 * **live reconfiguration** — :meth:`~QuerySession.set_routing` swaps the
   routing strategy mid-session without touching storage or caches,
-  carrying learned adaptive state across the swap.
+  carrying learned adaptive state across the swap;
+* **live graph updates** — :meth:`~QuerySession.apply_updates` mutates the
+  served graph in place: dirty records are rewritten through the storage
+  tier, invalidated from every processor cache, and routed by hash
+  fallback until the incremental refresh re-indexes the dirty region
+  (see :mod:`repro.core.updates`); :meth:`~QuerySession.stream` accepts
+  workloads that interleave :class:`~repro.graph.updates.GraphUpdate`
+  items with queries.
 
 One service admits one active session at a time: the simulated router is
 a single dispatch loop, and interleaving two id-spaces through it would
@@ -40,6 +47,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..costs import DEFAULT_COSTS, CostModel
 from ..graph.digraph import Graph
+from ..graph.updates import GraphUpdate
 from ..sim import Environment
 from ..storage.tier import StorageTier
 from .assets import GraphAssets
@@ -47,6 +55,7 @@ from .metrics import QueryRecord, WorkloadReport
 from .processor import QueryProcessor
 from .queries import Query, QueryIdAllocator
 from .router import Router
+from .updates import LiveUpdateManager, UpdateReport
 from .routing import (
     AdaptiveRouting,
     EmbedRouting,
@@ -102,6 +111,11 @@ class ClusterConfig:
     #: for static strategies (decisions don't depend on feedback), small
     #: waves for adaptive so routing feedback informs later decisions.
     submit_batch: Optional[int] = None
+    # -- live graph-update knobs ----------------------------------------------
+    #: Automatically run the incremental routing refresh after this many
+    #: applied updates (None = manual: staleness accumulates until
+    #: ``refresh_routing()`` is called). See :mod:`repro.core.updates`.
+    update_refresh_interval: Optional[int] = None
 
     def with_routing(self, routing: str) -> "ClusterConfig":
         return replace(self, routing=routing)
@@ -139,6 +153,10 @@ class GraphService:
         if self.config.num_processors < 1:
             raise ValueError("need at least one query processor")
         self.assets = assets if assets is not None else GraphAssets(graph)
+        # Shared staleness set: nodes whose routing info predates a graph
+        # update. Created before the strategies so they can hold it by
+        # reference; owned (and cleared) by the LiveUpdateManager.
+        self._stale: set = set()
         self.env = Environment()
         self.tier = StorageTier(
             self.env,
@@ -167,6 +185,7 @@ class GraphService:
         )
         for processor in self.processors:
             processor.start(self.router)
+        self.updates = LiveUpdateManager(self, self._stale)
         self._active_session: Optional["QuerySession"] = None
         self._closed = False
 
@@ -196,7 +215,9 @@ class GraphService:
                 index = self.assets.landmark_index(
                     cfg.num_processors, cfg.num_landmarks, cfg.min_separation
                 )
-            return LandmarkRouting(index, load_factor=cfg.load_factor)
+            return LandmarkRouting(
+                index, load_factor=cfg.load_factor, staleness=self._stale
+            )
         if routing == "adaptive":
             if not cfg.adaptive_arms:
                 raise ValueError("adaptive routing needs at least one arm")
@@ -229,6 +250,7 @@ class GraphService:
             alpha=cfg.alpha,
             load_factor=cfg.load_factor,
             seed=cfg.seed,
+            staleness=self._stale,
         )
 
     # -- sessions ------------------------------------------------------------
@@ -321,6 +343,35 @@ class GraphService:
         self.config = new_config
         self.strategy = new_strategy
         return new_strategy
+
+    # -- live graph updates -----------------------------------------------------
+    def apply_updates(self, updates: Iterable[GraphUpdate]) -> UpdateReport:
+        """Apply a batch of graph mutations through every layer.
+
+        The deltas land in the graph and assets, the dirty adjacency
+        records are rewritten through the storage tier (advancing
+        simulated time; concurrent queries contend with the writes), the
+        dirty keys are invalidated in every processor cache, and the
+        dirty nodes are marked routing-stale until the next incremental
+        refresh (automatic every ``config.update_refresh_interval``
+        applied updates, or on :meth:`refresh_routing`). See
+        :mod:`repro.core.updates` for the full model.
+        """
+        if self._closed:
+            raise RuntimeError("GraphService is closed")
+        return self.updates.apply(list(updates))
+
+    def refresh_routing(self) -> int:
+        """Incrementally refresh routing info for the stale region.
+
+        Re-assigns dirty nodes in any landmark index and re-embeds them
+        in any embedding the current strategy (or its adaptive arms)
+        routes with, then clears the staleness set; returns how many
+        nodes were refreshed.
+        """
+        if self._closed:
+            raise RuntimeError("GraphService is closed")
+        return self.updates.refresh()
 
     # -- lifecycle -------------------------------------------------------------
     def drain(self) -> None:
@@ -475,6 +526,14 @@ class QuerySession:
         strategies decide later waves with earlier acks already absorbed.
         Returns the number of queries submitted; completion is awaited by
         :meth:`drain` / :meth:`report` / :meth:`results`.
+
+        The workload may interleave :class:`~repro.graph.updates.GraphUpdate`
+        items with queries (e.g. :func:`repro.workloads.churn_stream`):
+        each contiguous run of updates is applied — in stream order, so a
+        query behind an update sees the mutated graph — via
+        :meth:`apply_updates`, while queries already submitted keep
+        executing concurrently with the update's storage writes. Updates
+        do not count toward the returned submission total.
         """
         self._check_open()
         if batch is None:
@@ -489,9 +548,42 @@ class QuerySession:
         while wave:
             if submitted:
                 self.env.run(until=self.router.when_backlog_at_most(refill))
-            self.submit_many(wave)
-            submitted += len(wave)
+            if any(isinstance(item, GraphUpdate) for item in wave):
+                submitted += self._mixed_wave(wave)
+            else:
+                self.submit_many(wave)
+                submitted += len(wave)
             wave = list(islice(iterator, batch))
+        return submitted
+
+    def _mixed_wave(self, wave: List[object]) -> int:
+        """Submit one wave containing both queries and graph updates.
+
+        Stream order is preserved: queries ahead of an update are
+        submitted (and may execute) first, then the update batch is
+        applied, then the remainder follows. Consecutive updates coalesce
+        into one applied batch (one storage write round per burst).
+        """
+        submitted = 0
+        queries: List[Query] = []
+        updates: List[GraphUpdate] = []
+        for item in wave:
+            if isinstance(item, GraphUpdate):
+                if queries:
+                    self.submit_many(queries)
+                    submitted += len(queries)
+                    queries = []
+                updates.append(item)
+            else:
+                if updates:
+                    self.apply_updates(updates)
+                    updates = []
+                queries.append(item)
+        if updates:
+            self.apply_updates(updates)
+        if queries:
+            self.submit_many(queries)
+            submitted += len(queries)
         return submitted
 
     # -- completion --------------------------------------------------------------
@@ -518,6 +610,21 @@ class QuerySession:
         """Run the simulation until every submitted query has completed."""
         if not self.closed:
             self.service.drain()
+
+    # -- live graph updates -------------------------------------------------------
+    def apply_updates(self, updates: Iterable[GraphUpdate]) -> UpdateReport:
+        """Apply graph mutations mid-session (see
+        :meth:`GraphService.apply_updates`). Advances simulated time while
+        the storage writes are in flight; this session's submitted queries
+        keep executing (and completing) concurrently."""
+        self._check_open()
+        return self.service.apply_updates(updates)
+
+    def refresh_routing(self) -> int:
+        """Run the incremental routing refresh now (see
+        :meth:`GraphService.refresh_routing`)."""
+        self._check_open()
+        return self.service.refresh_routing()
 
     # -- reconfiguration ---------------------------------------------------------
     def set_routing(

@@ -56,10 +56,29 @@ class StorageServiceModel:
     per_request: float = 3.0e-6  # dispatch + hash-table entry
     per_key: float = 0.8e-6  # per key looked up in a multiget
     per_byte: float = 0.1e-9  # log read-out / serialization
+    # Writes are costlier than reads on a log-structured store: the log
+    # append is cheap but the hash-table update plus replication headroom
+    # put a RAMCloud-style durable write at roughly 2x a read.
+    write_per_request: float = 4.0e-6  # dispatch + replication initiation
+    write_per_key: float = 1.6e-6  # log append + hash-table update per record
+    write_per_byte: float = 0.2e-9  # log copy-in / checksumming
 
     def service_time(self, num_keys: int, nbytes: int) -> float:
         """Time the server's pipeline is occupied by one (multi)get."""
         return self.per_request + self.per_key * num_keys + self.per_byte * nbytes
+
+    def write_time(self, num_keys: int, nbytes: int) -> float:
+        """Time the server's pipeline is occupied by one (multi)put.
+
+        Writes share the FIFO pipeline with reads, so update churn
+        contends with query traffic — the effect the live-update
+        benchmark measures.
+        """
+        return (
+            self.write_per_request
+            + self.write_per_key * num_keys
+            + self.write_per_byte * nbytes
+        )
 
 
 @dataclass(frozen=True)

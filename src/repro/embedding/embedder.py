@@ -292,6 +292,64 @@ class GraphEmbedding:
                 raise ValueError(f"node {node_id} already embedded")
             self._extra[int(node_id)] = point
 
+    def refresh_node(
+        self,
+        node_id: int,
+        neighbor_coords: Sequence[np.ndarray],
+        blend: float = 0.5,
+    ) -> None:
+        """Incrementally (re-)place one node from its neighbors' coordinates.
+
+        The live-update refresh path: a node is (approximately) one hop
+        from each neighbor, so the centroid of the embedded neighbors is
+        the least-squares one-hop placement — one Jacobi relaxation step
+        in embedding space, no landmark BFS required. New nodes take the
+        centroid outright (falling back to the landmark centroid when no
+        neighbor is embedded yet); already-embedded nodes blend
+        ``blend`` of the centroid into their existing coordinates, which
+        damps oscillation when a whole dirty region refreshes at once.
+        Drift against true hop distances accumulates across refreshes and
+        is cleared by periodic full re-embedding, mirroring the landmark
+        index's rebuild story.
+        """
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must lie in [0, 1]")
+        points = [c for c in neighbor_coords if c is not None]
+        centroid = (
+            np.mean(np.stack(points), axis=0) if points else None
+        )
+        row = self._row.get(node_id)
+        if row is None and node_id not in self._extra:
+            if centroid is None:
+                centroid = self.landmark_coords.mean(axis=0)
+            self._extra[node_id] = centroid
+            return
+        if centroid is None:
+            return  # no information; keep the existing placement
+        old = self.coords[row] if row is not None else self._extra[node_id]
+        updated = (1.0 - blend) * old + blend * centroid
+        if row is not None:
+            self.coords[row] = updated
+        else:
+            self._extra[node_id] = updated
+
+    def clone(self) -> "GraphEmbedding":
+        """Independent copy (shared immutable node ids, copied coords).
+
+        The live-update experiments run several services from identical
+        starting preprocessing; cloning skips re-running the embedding.
+        """
+        copy = GraphEmbedding(
+            self.node_ids,
+            self.coords,  # the constructor astype() call copies
+            list(self.landmark_node_ids),
+            self.landmark_coords,
+        )
+        copy._extra = {
+            node: vec.copy() for node, vec in self._extra.items()
+        }
+        return copy
+
     # -- evaluation -------------------------------------------------------------
     def relative_errors(
         self,

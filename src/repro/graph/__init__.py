@@ -19,11 +19,23 @@ from .traversal import (
     per_hop_frontiers,
     random_walk_with_restart,
 )
+from .updates import (
+    UPDATE_KINDS,
+    GraphUpdate,
+    apply_update,
+    apply_updates,
+    validate_updates,
+)
 
 __all__ = [
     "CSRGraph",
     "Graph",
     "GraphError",
+    "GraphUpdate",
+    "UPDATE_KINDS",
+    "apply_update",
+    "apply_updates",
+    "validate_updates",
     "barabasi_albert",
     "bfs_distances",
     "bidirectional_reachability",

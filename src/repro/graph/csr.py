@@ -32,14 +32,24 @@ class CSRGraph:
         indptr: np.ndarray,
         indices: np.ndarray,
         node_ids: np.ndarray,
+        index: Optional[dict] = None,
     ) -> None:
         self.indptr = indptr
         self.indices = indices
         self.node_ids = node_ids
-        self._index = {int(nid): i for i, nid in enumerate(node_ids)}
+        self._index = (
+            index
+            if index is not None
+            else {int(nid): i for i, nid in enumerate(node_ids)}
+        )
 
     @classmethod
-    def from_graph(cls, graph: Graph, direction: str = "both") -> "CSRGraph":
+    def from_graph(
+        cls,
+        graph: Graph,
+        direction: str = "both",
+        node_ids: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
         """Build from a :class:`Graph`.
 
         ``direction`` selects which adjacency goes into the rows:
@@ -48,10 +58,20 @@ class CSRGraph:
         * ``"in"`` — predecessors only;
         * ``"both"`` — the bi-directed view (deduplicated), which is what
           the paper's landmark and embedding preprocessing uses (§3.4.1).
+
+        ``node_ids`` fixes the compact ordering instead of the default
+        sorted order — live graph updates append new nodes at the end so
+        compact indices (cache keys, record-size rows) stay stable.
         """
         if direction not in ("out", "in", "both"):
             raise ValueError(f"bad direction: {direction!r}")
-        node_ids = np.array(sorted(graph.nodes()), dtype=np.int64)
+        if node_ids is None:
+            node_ids = np.array(sorted(graph.nodes()), dtype=np.int64)
+        elif len(node_ids) != graph.num_nodes:
+            raise ValueError(
+                f"node_ids has {len(node_ids)} entries for a graph of "
+                f"{graph.num_nodes} nodes"
+            )
         index = {int(nid): i for i, nid in enumerate(node_ids)}
         n = len(node_ids)
         counts = np.zeros(n + 1, dtype=np.int64)
@@ -71,7 +91,85 @@ class CSRGraph:
         indices = np.empty(int(indptr[-1]), dtype=np.int64)
         for i, row in enumerate(rows):
             indices[indptr[i]:indptr[i + 1]] = row
-        return cls(indptr, indices, node_ids)
+        return cls(indptr, indices, node_ids, index=index)
+
+    def with_updated_rows(
+        self,
+        new_rows: "dict[int, Sequence[int]]",
+        appended_rows: Sequence[Sequence[int]] = (),
+        appended_node_ids: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
+        """New CSR with some rows replaced and new nodes appended at the end.
+
+        Live graph updates dirty a handful of adjacency rows per batch; a
+        full :meth:`from_graph` rebuild is a Python loop over *every* node
+        and dominates update latency. This splice is O(edges) in numpy
+        memcpy plus O(dirty) Python: unchanged row *runs* between dirty
+        rows are copied with slice assignment, and only the dirty/new rows
+        (already translated to compact indices by the caller) are written
+        element-wise.
+
+        ``new_rows`` maps compact index -> replacement neighbor row (compact
+        indices); ``appended_rows`` are rows for brand-new nodes, whose ids
+        (``appended_node_ids``) extend :attr:`node_ids` in order.
+        """
+        n_old = self.num_nodes
+        if len(appended_rows) != (
+            0 if appended_node_ids is None else len(appended_node_ids)
+        ):
+            raise ValueError("appended_rows and appended_node_ids disagree")
+        for idx in new_rows:
+            if not 0 <= idx < n_old:
+                raise ValueError(f"row {idx} out of range for {n_old} nodes")
+        counts = np.diff(self.indptr)
+        if appended_rows:
+            counts = np.concatenate([
+                counts, np.fromiter(
+                    (len(r) for r in appended_rows), dtype=np.int64,
+                    count=len(appended_rows),
+                ),
+            ])
+        else:
+            counts = counts.copy()
+        for idx, row in new_rows.items():
+            counts[idx] = len(row)
+        n_new = n_old + len(appended_rows)
+        indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        # Copy unchanged runs between dirty rows in one slice each.
+        dirty = sorted(new_rows)
+        run_start = 0
+        for idx in dirty:
+            if idx > run_start:
+                length = int(self.indptr[idx] - self.indptr[run_start])
+                dest = int(indptr[run_start])
+                indices[dest:dest + length] = (
+                    self.indices[self.indptr[run_start]:self.indptr[idx]]
+                )
+            indices[indptr[idx]:indptr[idx + 1]] = new_rows[idx]
+            run_start = idx + 1
+        if run_start < n_old:
+            length = int(self.indptr[n_old] - self.indptr[run_start])
+            dest = int(indptr[run_start])
+            indices[dest:dest + length] = (
+                self.indices[self.indptr[run_start]:self.indptr[n_old]]
+            )
+        for offset, row in enumerate(appended_rows):
+            idx = n_old + offset
+            indices[indptr[idx]:indptr[idx + 1]] = row
+        if appended_rows:
+            node_ids = np.concatenate([
+                self.node_ids,
+                np.asarray(appended_node_ids, dtype=np.int64),
+            ])
+            index = dict(self._index)
+            for offset, nid in enumerate(appended_node_ids):
+                index[int(nid)] = n_old + offset
+        else:
+            node_ids = self.node_ids
+            index = self._index
+        return CSRGraph(indptr, indices, node_ids, index=index)
 
     @property
     def num_nodes(self) -> int:

@@ -1,0 +1,165 @@
+"""Graph-update deltas: the unit of live graph mutation.
+
+The paper's Fig 10 studies routing robustness when the graph changes after
+preprocessing; dynamic distributed stores (PHD-Store, workload-based
+fragmentation) likewise treat updates as first-class deltas applied
+incrementally rather than as offline rebuilds. :class:`GraphUpdate` is that
+delta for this reproduction: a frozen, replayable record of one mutation
+(edge added, edge removed, or node added) that flows through every layer —
+the :class:`~repro.graph.digraph.Graph` itself, the storage tier's write
+path, processor-cache invalidation, and staleness-aware routing (see
+:mod:`repro.core.updates`).
+
+Node *removal* is deliberately not a delta kind: compact node indices are
+append-only so that cache keys, CSR rows and record-size arrays stay
+stable across updates. Production systems tombstone; so do we —
+``remove_edge`` deltas can strip a node down to isolation, which is the
+tombstone state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from .digraph import Graph, GraphError
+
+#: The supported delta kinds, in the order the docs discuss them.
+UPDATE_KINDS = ("add_edge", "remove_edge", "add_node")
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """One graph mutation: ``kind`` plus its endpoint(s).
+
+    * ``add_edge`` — directed edge ``u -> v`` (endpoints created
+      implicitly, matching :meth:`Graph.add_edge`); ``label`` optional.
+    * ``remove_edge`` — existing directed edge ``u -> v``.
+    * ``add_node`` — node ``u`` (idempotent); ``label`` optional.
+
+    Use the classmethod constructors — they read better in workload
+    generators and keep the field conventions in one place.
+    """
+
+    kind: str
+    u: int
+    v: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in UPDATE_KINDS:
+            raise ValueError(
+                f"unknown update kind {self.kind!r}; choose from {UPDATE_KINDS}"
+            )
+        if self.kind in ("add_edge", "remove_edge") and self.v is None:
+            raise ValueError(f"{self.kind} updates need both endpoints (v)")
+        if self.kind == "add_node" and self.v is not None:
+            raise ValueError("add_node updates take a single node (no v)")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def add_edge(cls, u: int, v: int, label: Optional[str] = None) -> "GraphUpdate":
+        return cls(kind="add_edge", u=u, v=v, label=label)
+
+    @classmethod
+    def remove_edge(cls, u: int, v: int) -> "GraphUpdate":
+        return cls(kind="remove_edge", u=u, v=v)
+
+    @classmethod
+    def add_node(cls, u: int, label: Optional[str] = None) -> "GraphUpdate":
+        return cls(kind="add_node", u=u, label=label)
+
+    def touched(self) -> Tuple[int, ...]:
+        """Node ids whose adjacency record this delta dirties."""
+        if self.v is None or self.v == self.u:
+            return (self.u,)
+        return (self.u, self.v)
+
+
+def validate_updates(graph: Graph, updates: Sequence[GraphUpdate]) -> None:
+    """Reject an inapplicable batch *before* any of it is applied.
+
+    Mirrors the router's submit-time batch validation: a mid-batch failure
+    would leave the graph (and everything downstream — storage, caches,
+    routing staleness) partially updated, and the caller's natural
+    recovery of re-applying the batch would then double-apply the prefix.
+    Tracks edge adds/removes within the batch so e.g. removing an edge the
+    same batch added validates correctly.
+    """
+    added: Set[Tuple[int, int]] = set()
+    removed: Set[Tuple[int, int]] = set()
+    for position, update in enumerate(updates):
+        if not isinstance(update, GraphUpdate):
+            raise TypeError(
+                f"updates[{position}] is {type(update).__name__}, not "
+                "GraphUpdate; queries go through submit()/stream(), updates "
+                "through apply_updates()"
+            )
+        if update.kind == "add_edge":
+            edge = (update.u, update.v)
+            added.add(edge)
+            removed.discard(edge)
+        elif update.kind == "remove_edge":
+            edge = (update.u, update.v)
+            exists = (
+                edge not in removed
+                and (edge in added or graph.has_edge(update.u, update.v))
+            )
+            if not exists:
+                raise GraphError(
+                    f"updates[{position}] removes non-existent edge "
+                    f"{update.u} -> {update.v}; batch not applied"
+                )
+            removed.add(edge)
+            added.discard(edge)
+
+
+def apply_update(graph: Graph, update: GraphUpdate) -> Tuple[Set[int], Set[int]]:
+    """Apply one delta; returns ``(dirty_node_ids, new_node_ids)``.
+
+    *Dirty* nodes are those whose adjacency record changed (their stored
+    bytes must be rewritten, cached copies invalidated, routing info
+    refreshed); *new* nodes are the subset that did not exist before.
+    """
+    new: Set[int] = set()
+    if update.kind == "add_edge":
+        for endpoint in update.touched():
+            if endpoint not in graph:
+                new.add(endpoint)
+        changed = graph.add_edge(update.u, update.v, update.label)
+        if not changed and update.label is None:
+            # Pure no-op upsert (edge already present, no label change):
+            # no record bytes changed, so nothing downstream — storage
+            # rewrite, cache invalidation, staleness — should trigger.
+            return set(), set()
+    elif update.kind == "remove_edge":
+        graph.remove_edge(update.u, update.v)
+    else:  # add_node
+        existed = update.u in graph
+        graph.add_node(update.u, update.label)
+        if existed and update.label is None:
+            return set(), set()
+        if not existed:
+            new.add(update.u)
+    return set(update.touched()), new
+
+
+def apply_updates(
+    graph: Graph, updates: Iterable[GraphUpdate]
+) -> Tuple[Set[int], Set[int]]:
+    """Validate then apply a batch; returns the union dirty/new node sets.
+
+    This is the graph-only entry point (tests, offline tooling). Live
+    clusters go through :meth:`repro.core.service.QuerySession.apply_updates`,
+    which also drives the storage write path, cache invalidation and
+    routing staleness.
+    """
+    updates = list(updates)
+    validate_updates(graph, updates)
+    dirty: Set[int] = set()
+    new: Set[int] = set()
+    for update in updates:
+        update_dirty, update_new = apply_update(graph, update)
+        dirty |= update_dirty
+        new |= update_new
+    return dirty, new

@@ -172,6 +172,70 @@ class LandmarkIndex:
                         vector = np.minimum(vector, old)
                 self._set_vector(node, vector)
 
+    def refresh_nodes(self, graph: Graph, node_ids: Iterable[int]) -> int:
+        """Batched incremental re-assignment of a dirty region.
+
+        Live updates mark the nodes whose adjacency changed; this
+        recomputes each one's landmark vector by neighbor relaxation over
+        the *current* graph — ``d(u, L) = 1 + min over neighbors`` is exact
+        when the neighbors' vectors are exact, an upper bound otherwise —
+        in two passes so improvements propagate across the patch (new
+        nodes chained to other new nodes resolve on the second pass).
+        Unlike :meth:`update_edge`'s add-only path, no minimum with the
+        old vector is taken: the batch may contain deletions, after which
+        the old vector is not a valid bound. A node whose relaxation
+        yields no information (every neighbor unknown) keeps its previous
+        vector — stale information beats none, and periodic
+        :meth:`rebuild` clears the drift. Returns how many nodes were
+        refreshed.
+        """
+        nodes = sorted(n for n in set(node_ids) if n in graph)
+        if not nodes:
+            return 0
+        landmark_rows = {
+            node: row for row, node in enumerate(self.landmark_node_ids)
+        }
+        refreshed = 0
+        for sweep in range(2):
+            for node in nodes:
+                vector = self._relaxed_vector(graph.neighbors(node))
+                row = landmark_rows.get(node)
+                if row is not None:
+                    vector[row] = 0.0
+                elif not np.isfinite(vector).any():
+                    if self.landmark_vector(node) is not None:
+                        continue  # keep the stale-but-informative vector
+                self._set_vector(node, vector)
+                if sweep == 0:
+                    refreshed += 1
+        return refreshed
+
+    def clone(self) -> "LandmarkIndex":
+        """Independent copy (shared immutable node ids, copied tables).
+
+        Live-update experiments run several services against identical
+        starting preprocessing; cloning the index is a memcpy, while
+        rebuilding it re-runs the landmark BFS sweep.
+        """
+        copy = LandmarkIndex(
+            self.node_ids,
+            list(self.landmark_node_ids),
+            self._landmark_dist,
+            [list(group) for group in self.groups],
+            self._table,
+        )
+        # The constructor re-derives float32/inf forms; hand it the
+        # already-converted arrays as fresh copies instead.
+        copy._landmark_dist = self._landmark_dist.copy()
+        copy._table = self._table.copy()
+        copy._extra_landmark = {
+            node: vec.copy() for node, vec in self._extra_landmark.items()
+        }
+        copy._extra_table = {
+            node: vec.copy() for node, vec in self._extra_table.items()
+        }
+        return copy
+
     def rebuild(
         self,
         graph: Graph,

@@ -36,10 +36,15 @@ class StorageServer:
         self.store = LogStructuredStore(segment_bytes=segment_bytes)
         self.pipeline = Resource(env, capacity=pipeline_width)
         self.alive = True
-        # Counters for utilization / hotspot analysis.
+        # Counters for utilization / hotspot analysis. Reads and writes are
+        # tracked separately so read-side experiments (Fig 8c) keep their
+        # historical meaning under update churn.
         self.requests_served = 0
         self.keys_served = 0
         self.bytes_served = 0
+        self.writes_served = 0
+        self.records_written = 0
+        self.bytes_written = 0
 
     # -- untimed bulk loading (setup happens outside simulated time) -------
     def load(self, key: int, value: bytes) -> None:
@@ -102,6 +107,35 @@ class StorageServer:
         finally:
             self.pipeline.release(request)
 
+    def multiput_process(self, entries, nbytes: int):
+        """Simulation process serving a batched write (graph updates).
+
+        ``entries`` is a sequence of ``(key, payload)`` pairs; ``payload``
+        may be ``None`` in accounting mode (sweep experiments track sizes
+        and ownership from precomputed arrays without materialising the
+        store — the write twin of :meth:`serve_process`), in which case
+        ``nbytes`` carries the encoded sizes. Writes occupy the same FIFO
+        pipeline as reads, so update churn queues behind (and delays)
+        query fetches, which is the contention the live-update experiments
+        measure.
+        """
+        entries = list(entries)
+        request = self.pipeline.request()
+        yield request
+        try:
+            if not self.alive:
+                raise StorageServerDown(f"storage server {self.server_id} is down")
+            yield self.env.timeout(self.service.write_time(len(entries), nbytes))
+            for key, payload in entries:
+                if payload is not None:
+                    self.store.put(key, payload)
+            self.writes_served += 1
+            self.records_written += len(entries)
+            self.bytes_written += nbytes
+        finally:
+            self.pipeline.release(request)
+        return len(entries)
+
     def put_process(self, key: int, value: bytes):
         """Simulation process serving a single put."""
         request = self.pipeline.request()
@@ -109,11 +143,11 @@ class StorageServer:
         try:
             if not self.alive:
                 raise StorageServerDown(f"storage server {self.server_id} is down")
-            yield self.env.timeout(self.service.service_time(1, len(value)))
+            yield self.env.timeout(self.service.write_time(1, len(value)))
             self.store.put(key, value)
-            self.requests_served += 1
-            self.keys_served += 1
-            self.bytes_served += len(value)
+            self.writes_served += 1
+            self.records_written += 1
+            self.bytes_written += len(value)
         finally:
             self.pipeline.release(request)
 

@@ -7,16 +7,21 @@ because smart routing at the processing tier is what recovers locality.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..costs import StorageServiceModel
+from ..costs import NetworkModel, StorageServiceModel
 from ..graph.digraph import Graph
 from ..sim import Environment
 from .murmur import hash_node_id
 from .records import AdjacencyRecord, graph_to_records
-from .server import StorageServer
+from .server import StorageServer, StorageServerDown
 
 Partitioner = Callable[[int, int], int]
+
+#: Wire framing of a multiput request/ack (mirrors the gather constants).
+_WRITE_HEADER_BYTES = 24
+_PER_RECORD_WRITE_BYTES = 12  # key + length prefix per record
+_WRITE_ACK_BYTES = 16
 
 
 def murmur_partitioner(key: int, num_servers: int) -> int:
@@ -107,6 +112,75 @@ class StorageTier:
             for key, payload in values.items():
                 records[key] = AdjacencyRecord.decode(payload)
         return records
+
+    def _server_write_process(
+        self,
+        server: StorageServer,
+        entries: List[Tuple[int, Optional[bytes]]],
+        nbytes: int,
+        network: Optional[NetworkModel],
+    ):
+        """One server's leg of a multiput: request transfer, write, ack."""
+        if network is not None:
+            request_bytes = (
+                _WRITE_HEADER_BYTES
+                + _PER_RECORD_WRITE_BYTES * len(entries)
+                + nbytes
+            )
+            yield self.env.timeout(network.transfer_time(request_bytes))
+        yield self.env.process(server.multiput_process(entries, nbytes))
+        if network is not None:
+            yield self.env.timeout(network.transfer_time(_WRITE_ACK_BYTES))
+        return len(entries), nbytes
+
+    def multiput_process(
+        self,
+        items: Iterable[Tuple[int, int, Optional[bytes]]],
+        network: Optional[NetworkModel] = None,
+    ):
+        """Simulation process writing updated records, one multiput per
+        involved server, in parallel (the write twin of
+        :meth:`fetch_process`).
+
+        ``items`` are ``(key, size_bytes, payload)`` triples; ``payload``
+        is the encoded record, or ``None`` in accounting mode (sizes alone
+        drive timing, nothing lands in the store). ``network``, when
+        given, charges the request/ack transfers per server — the caller
+        (the live-update manager) knows which interconnect it is on.
+
+        Returns ``(records_written, bytes_written, error)``: every
+        server's leg runs to completion (failure injection on one server
+        does not abort the others' writes), the totals count what
+        actually landed, and ``error`` carries the first
+        :class:`StorageServerDown` (or ``None``) instead of raising — the
+        caller decides how a partial write surfaces, with accurate
+        counters in hand either way.
+        """
+        plan: Dict[int, List[Tuple[int, Optional[bytes]]]] = {}
+        sizes: Dict[int, int] = {}
+        for key, size, payload in items:
+            sid = self.partitioner(key, self.num_servers)
+            plan.setdefault(sid, []).append((key, payload))
+            sizes[sid] = sizes.get(sid, 0) + size
+        pending = [
+            self.env.process(self._server_write_process(
+                self.servers[sid], entries, sizes[sid], network,
+            ))
+            for sid, entries in plan.items()
+        ]
+        total_records = 0
+        total_bytes = 0
+        error: Optional[StorageServerDown] = None
+        for process in pending:
+            try:
+                records, nbytes = yield process
+            except StorageServerDown as down:
+                if error is None:
+                    error = down
+            else:
+                total_records += records
+                total_bytes += nbytes
+        return total_records, total_bytes, error
 
     def total_live_bytes(self) -> int:
         return sum(server.store.live_bytes() for server in self.servers)

@@ -6,7 +6,9 @@ harness's unit); :func:`interleave` composes streams. The generic streams
 accept any registered query operator in their ``mix`` (see
 :mod:`repro.core.operators`); :mod:`~repro.workloads.families` adds
 dedicated streams shaping traffic for the extended families (``ppr``,
-``k_reach``, ``sample``).
+``k_reach``, ``sample``); :mod:`~repro.workloads.updates` adds
+:func:`churn_stream`, which interleaves live
+:class:`~repro.graph.updates.GraphUpdate` mutations with hotspot queries.
 """
 
 from .families import (
@@ -28,10 +30,13 @@ from .hotspot import (
     zipfian_stream,
     zipfian_workload,
 )
+from .updates import churn_stream, churn_workload
 
 __all__ = [
     "DEFAULT_MIX",
     "FULL_MIX",
+    "churn_stream",
+    "churn_workload",
     "hotspot_stream",
     "hotspot_workload",
     "interleave",

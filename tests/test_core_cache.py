@@ -68,6 +68,163 @@ class TestBasics:
             cache.put("a", -5)
 
 
+class TestZeroCapacityRegression:
+    # Satellite regression: with capacity_bytes == 0, "nothing is admitted"
+    # must hold for zero-size records too — ``size > capacity_bytes`` is
+    # false for size == 0 and the record used to slip in.
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "lfu"])
+    def test_zero_size_record_rejected_at_zero_capacity(self, policy):
+        cache = ProcessorCache(0, policy=policy)
+        cache.put("a", 0)
+        assert "a" not in cache
+        assert len(cache) == 0
+        assert cache.stats.insertions == 0
+        assert cache.stats.rejected == 1
+        assert cache.get("a") is None  # every probe misses
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "lfu"])
+    def test_positive_size_record_rejected_at_zero_capacity(self, policy):
+        cache = ProcessorCache(0, policy=policy)
+        cache.put("a", 8)
+        assert "a" not in cache
+        assert cache.stats.rejected == 1
+        assert cache.size_bytes == 0
+
+    def test_zero_size_records_admitted_with_capacity(self):
+        cache = ProcessorCache(10)
+        cache.put("a", 0)
+        assert "a" in cache
+        assert cache.size_bytes == 0
+
+
+class TestPutManyValidationRegression:
+    # Satellite regression: put_many(keys_array) without sizes used to die
+    # unpacking int64 scalars with an opaque TypeError.
+    def test_array_without_sizes_raises_clear_error(self):
+        cache = ProcessorCache(100)
+        with pytest.raises(ValueError, match="sizes"):
+            cache.put_many(np.array([1, 2, 3], dtype=np.int64))
+        assert len(cache) == 0
+
+    def test_error_names_both_conventions(self):
+        cache = ProcessorCache(100)
+        with pytest.raises(ValueError, match=r"\(key, size\)"):
+            cache.put_many(np.array([1], dtype=np.int64))
+
+    def test_sizes_with_non_array_keys_raises(self):
+        cache = ProcessorCache(100)
+        with pytest.raises(ValueError, match="aligned ndarrays"):
+            cache.put_many([1, 2], sizes=np.array([3, 4], dtype=np.int64))
+
+    def test_mismatched_lengths_raise(self):
+        cache = ProcessorCache(100)
+        with pytest.raises(ValueError, match="length mismatch"):
+            cache.put_many(np.array([1, 2], dtype=np.int64),
+                           np.array([3], dtype=np.int64))
+
+
+class TestDuplicateProbeRegression:
+    # Satellite regression: duplicate keys within one probe batch used to
+    # double-count hits/misses and re-emit the duplicate into the missed
+    # output, triggering duplicate downstream storage fetches.
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "lfu"])
+    def test_duplicates_count_once_per_batch_array(self, policy):
+        cache = ProcessorCache(100, policy=policy)
+        cache.put(2, 5)
+        keys = np.array([3, 2, 3, 2, 1], dtype=np.int64)
+        missed = cache.get_many(keys)
+        assert missed.tolist() == [3, 1]  # first-occurrence order, deduped
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "lfu"])
+    def test_duplicates_count_once_per_batch_list(self, policy):
+        cache = ProcessorCache(100, policy=policy)
+        cache.put("b", 5)
+        missed = cache.get_many(["a", "b", "a", "b"])
+        assert missed == ["a"]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lfu_duplicate_hits_bump_count_once(self):
+        cache = ProcessorCache(30, policy="lfu")
+        cache.put("a", 10)
+        cache.put("b", 10)
+        cache.put("c", 10)
+        cache.get_many(["b", "b", "b"])  # one logical probe of {b}
+        cache.get_many(["c"])
+        cache.get_many(["c"])
+        cache.put("d", 10)  # a: 1, b: 2, c: 3 -> a evicts
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_duplicate_frontier_fetches_each_record_once(self):
+        # The gather-path consequence: put_many on the deduped missed set
+        # admits (and the storage tier fetches) each record once.
+        cache = ProcessorCache(100)
+        missed = cache.get_many(np.array([7, 7, 9], dtype=np.int64))
+        assert missed.tolist() == [7, 9]
+        cache.put_many(missed, np.full(missed.size, 10, dtype=np.int64))
+        assert cache.stats.insertions == 2
+        assert cache.size_bytes == 20
+
+
+class TestInvalidateMany:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "lfu"])
+    def test_removes_entries_and_bytes(self, policy):
+        cache = ProcessorCache(100, policy=policy)
+        for key in range(5):
+            cache.put(key, 10)
+        removed = cache.invalidate_many(np.array([1, 3, 99], dtype=np.int64))
+        assert removed == 2
+        assert cache.stats.invalidations == 2
+        assert cache.size_bytes == 30
+        assert 1 not in cache and 3 not in cache
+        assert 0 in cache and 2 in cache and 4 in cache
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "lfu"])
+    def test_not_counted_as_eviction_or_miss(self, policy):
+        cache = ProcessorCache(100, policy=policy)
+        cache.put("a", 10)
+        cache.invalidate_many(["a"])
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.invalidations == 1
+
+    def test_lfu_survives_invalidate_readmit_evict_cycle(self):
+        # The heap may hold snapshots of invalidated keys; they must be
+        # skipped at eviction and the freq restart must not resurrect the
+        # old count.
+        cache = ProcessorCache(30, policy="lfu")
+        cache.put("a", 10)
+        for _ in range(5):
+            cache.get("a")  # a's count climbs to 6
+        cache.put("b", 10)
+        cache.put("c", 10)
+        cache.invalidate_many(["a"])
+        cache.put("a", 10)  # readmitted: count restarts at 1
+        cache.get("b")
+        cache.get("c")
+        cache.put("d", 10)  # a (count 1) must evict despite old snapshots
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache and "d" in cache
+
+    def test_lfu_heap_compacts_after_mass_invalidation(self):
+        cache = ProcessorCache(10_000, policy="lfu")
+        for key in range(500):
+            cache.put(key, 10)
+        for _ in range(3):
+            cache.get_many(list(range(500)))
+        cache.invalidate_many(list(range(495)))
+        bound = LFU_COMPACT_FACTOR * len(cache) + LFU_COMPACT_SLACK
+        assert len(cache._heap) <= bound
+
+    def test_invalidate_on_empty_cache_is_noop(self):
+        cache = ProcessorCache(100)
+        assert cache.invalidate_many([1, 2, 3]) == 0
+        assert cache.stats.invalidations == 0
+
+
 class TestCapacityAndEviction:
     def test_eviction_keeps_within_capacity(self):
         cache = ProcessorCache(100)

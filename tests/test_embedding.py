@@ -225,3 +225,61 @@ class TestProcessorEMATracker:
         a = ProcessorEMATracker(3, 4, seed=9)
         b = ProcessorEMATracker(3, 4, seed=9)
         assert np.allclose(a.means, b.means)
+
+
+class TestRefreshAndClone:
+    def _embedding(self):
+        csr = CSRGraph.from_graph(ring_of_cliques(6, 5), direction="both")
+        return GraphEmbedding.embed(csr, dim=3, num_landmarks=6,
+                                    min_separation=1, method="lmds")
+
+    def test_refresh_places_new_node_at_neighbor_centroid(self):
+        embedding = self._embedding()
+        a = embedding.coordinates_of(0)
+        b = embedding.coordinates_of(1)
+        embedding.refresh_node(999, [a, b])
+        np.testing.assert_allclose(
+            embedding.coordinates_of(999), (a + b) / 2.0
+        )
+
+    def test_refresh_new_node_without_neighbors_uses_landmark_centroid(self):
+        embedding = self._embedding()
+        embedding.refresh_node(999, [None, None])
+        np.testing.assert_allclose(
+            embedding.coordinates_of(999),
+            embedding.landmark_coords.mean(axis=0),
+        )
+
+    def test_refresh_existing_node_blends(self):
+        embedding = self._embedding()
+        old = embedding.coordinates_of(0).copy()
+        target = embedding.coordinates_of(1)
+        embedding.refresh_node(0, [target], blend=0.5)
+        np.testing.assert_allclose(
+            embedding.coordinates_of(0), 0.5 * old + 0.5 * target
+        )
+        # blend=0 keeps coordinates untouched.
+        frozen = embedding.coordinates_of(0).copy()
+        embedding.refresh_node(0, [target], blend=0.0)
+        np.testing.assert_allclose(embedding.coordinates_of(0), frozen)
+
+    def test_refresh_existing_node_without_info_keeps_coords(self):
+        embedding = self._embedding()
+        old = embedding.coordinates_of(0).copy()
+        embedding.refresh_node(0, [])
+        np.testing.assert_allclose(embedding.coordinates_of(0), old)
+
+    def test_refresh_rejects_bad_blend(self):
+        embedding = self._embedding()
+        with pytest.raises(ValueError):
+            embedding.refresh_node(0, [], blend=1.5)
+
+    def test_clone_is_independent(self):
+        embedding = self._embedding()
+        copy = embedding.clone()
+        old = embedding.coordinates_of(0).copy()
+        copy.refresh_node(0, [embedding.coordinates_of(1)], blend=1.0)
+        np.testing.assert_allclose(embedding.coordinates_of(0), old)
+        copy.refresh_node(777, [old])
+        assert copy.knows(777)
+        assert not embedding.knows(777)

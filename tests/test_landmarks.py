@@ -287,3 +287,88 @@ class TestLandmarkIndex:
         index = LandmarkIndex.build(graph, num_processors=4, num_landmarks=6,
                                     min_separation=2)
         assert index.storage_bytes() == graph.num_nodes * 4 * 4  # float32 x P
+
+
+class TestRefreshAndClone:
+    def _path_graph(self, n=12):
+        g = Graph()
+        for u in range(n - 1):
+            g.add_edge(u, u + 1)
+            g.add_edge(u + 1, u)
+        return g
+
+    def test_refresh_nodes_recomputes_changed_region(self):
+        g = self._path_graph()
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        far = 11
+        before = index.landmark_vector(far).copy()
+        g.add_edge(0, 11)
+        g.add_edge(11, 0)
+        assert index.refresh_nodes(g, [0, 11]) == 2
+        after = index.landmark_vector(far)
+        assert (after <= before).all()
+        assert (after < before).any()
+
+    def test_refresh_nodes_handles_new_node_chains(self):
+        # A new node whose only neighbor is itself new resolves on the
+        # second relaxation pass.
+        g = self._path_graph()
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        g.add_edge(100, 0)
+        g.add_edge(101, 100)
+        index.refresh_nodes(g, [100, 101])
+        v0 = index.landmark_vector(0)
+        v100 = index.landmark_vector(100)
+        v101 = index.landmark_vector(101)
+        finite = np.isfinite(v0)
+        assert np.allclose(v100[finite], v0[finite] + 1.0)
+        assert np.allclose(v101[finite], v0[finite] + 2.0)
+
+    def test_refresh_keeps_landmark_self_distance_zero(self):
+        g = self._path_graph()
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        landmark = index.landmark_node_ids[0]
+        row = index.landmark_node_ids.index(landmark)
+        g.add_edge(landmark, 200)
+        index.refresh_nodes(g, [landmark, 200])
+        assert index.landmark_vector(landmark)[row] == 0.0
+
+    def test_refresh_preserves_vector_when_no_information(self):
+        g = self._path_graph()
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        before = index.landmark_vector(5).copy()
+        # Isolate node 5's neighbors from the index's point of view by
+        # refreshing it against unknown-only neighbors: simulate by a
+        # detached pair of brand-new nodes.
+        g.add_edge(300, 301)
+        index.refresh_nodes(g, [300, 301])
+        # 300/301 have no indexed neighbor: all-inf relaxation; new nodes
+        # still get indexed (as unreachable), old nodes keep information.
+        assert index.knows(300) and index.knows(301)
+        assert np.array_equal(index.landmark_vector(5), before)
+
+    def test_refresh_skips_nodes_missing_from_graph(self):
+        g = self._path_graph()
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        assert index.refresh_nodes(g, [99999]) == 0
+
+    def test_clone_is_independent(self):
+        g = self._path_graph()
+        index = LandmarkIndex.build(g, num_processors=2, num_landmarks=2,
+                                    min_separation=2)
+        copy = index.clone()
+        g.add_edge(500, 0)
+        copy.refresh_nodes(g, [500])
+        assert copy.knows(500)
+        assert not index.knows(500)
+        g.add_edge(0, 11)
+        g.add_edge(11, 0)
+        before = index.landmark_vector(11).copy()
+        copy.refresh_nodes(g, [0, 11])
+        assert np.array_equal(index.landmark_vector(11), before)
+        assert copy.processor_distances(500) is not None

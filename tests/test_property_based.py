@@ -198,6 +198,89 @@ class TestGraphProperties:
             assert v in graph.out_neighbors(u)
             assert u in graph.in_neighbors(v)
 
+    # Random interleavings of all four mutation kinds — the invariants the
+    # live-update path (repro.core.updates) depends on: edge accounting,
+    # in/out adjacency symmetry, and node-label cleanup.
+    mutation_ops = st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["add_edge", "remove_edge", "add_node", "remove_node"]
+            ),
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=10),
+        ),
+        max_size=150,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=mutation_ops)
+    def test_mutation_interleavings_preserve_invariants(self, ops):
+        graph = Graph()
+        nodes = set()
+        edges = set()
+        labels = {}
+        for op, u, v in ops:
+            if op == "add_edge":
+                graph.add_edge(u, v)
+                nodes.update((u, v))
+                edges.add((u, v))
+            elif op == "remove_edge":
+                if (u, v) in edges:
+                    graph.remove_edge(u, v)
+                    edges.remove((u, v))
+            elif op == "add_node":
+                graph.add_node(u, label=f"L{v}")
+                nodes.add(u)
+                labels[u] = f"L{v}"
+            else:  # remove_node
+                if u in nodes:
+                    graph.remove_node(u)
+                    nodes.discard(u)
+                    edges = {e for e in edges if u not in e}
+                    labels.pop(u, None)
+        # Node and edge accounting.
+        assert graph.num_nodes == len(nodes)
+        assert set(graph.nodes()) == nodes
+        assert graph.num_edges == len(edges)
+        assert set(graph.edges()) == edges
+        # In/out adjacency stay exact mirror images, per node.
+        for node in nodes:
+            out = set(graph.out_neighbors(node))
+            assert out == {b for a, b in edges if a == node}
+            inn = set(graph.in_neighbors(node))
+            assert inn == {a for a, b in edges if b == node}
+            for succ in out:
+                assert node in graph.in_neighbors(succ)
+            assert graph.out_degree(node) == len(out)
+            assert graph.in_degree(node) == len(inn)
+            assert graph.degree(node) == len(out) + len(inn)
+        # Label cleanup: removed nodes leave no label residue behind, and
+        # surviving labels match the model.
+        assert set(graph._node_labels) <= nodes
+        for node in nodes:
+            assert graph.node_label(node) == labels.get(node)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=mutation_ops)
+    def test_remove_node_then_readd_is_clean(self, ops):
+        # A re-added node must come back bare: no label, no edges.
+        graph = Graph()
+        present = set()
+        for op, u, v in ops:
+            if op == "add_edge":
+                graph.add_edge(u, v)
+                present.update((u, v))
+            elif op == "add_node":
+                graph.add_node(u, label="tagged")
+                present.add(u)
+            elif op == "remove_node" and u in present:
+                graph.remove_node(u)
+                present.discard(u)
+                graph.add_node(u)
+                present.add(u)
+                assert graph.node_label(u) is None
+                assert graph.degree(u) == 0
+
     @settings(max_examples=25, deadline=None)
     @given(
         edge_list=st.lists(

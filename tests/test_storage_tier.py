@@ -179,3 +179,130 @@ class TestStorageTier:
     def test_total_live_bytes_positive_after_load(self, loaded_tier):
         tier, _graph = loaded_tier
         assert tier.total_live_bytes() > 0
+
+
+class TestWritePath:
+    def test_multiput_takes_write_time_and_stores(self, env):
+        model = StorageServiceModel(
+            write_per_request=5e-6, write_per_key=1e-6, write_per_byte=0,
+        )
+        server = StorageServer(env, 0, model)
+        proc = env.process(
+            server.multiput_process([(1, b"abc"), (2, b"de")], nbytes=5)
+        )
+        env.run(until=proc)
+        assert env.now == pytest.approx(7e-6)  # 1 request + 2 records
+        assert server.store.get(1) == b"abc"
+        assert server.store.get(2) == b"de"
+        assert server.writes_served == 1
+        assert server.records_written == 2
+        assert server.bytes_written == 5
+        # Read counters untouched by writes.
+        assert server.requests_served == 0 and server.bytes_served == 0
+
+    def test_multiput_accounting_mode_stores_nothing(self, env):
+        server = StorageServer(env, 0, StorageServiceModel())
+        proc = env.process(
+            server.multiput_process([(1, None), (2, None)], nbytes=64)
+        )
+        env.run(until=proc)
+        assert len(server.store) == 0
+        assert server.records_written == 2
+        assert server.bytes_written == 64
+
+    def test_multiput_on_failed_server_raises(self, env):
+        server = StorageServer(env, 0, StorageServiceModel())
+        server.fail()
+
+        def client(caught):
+            try:
+                yield env.process(server.multiput_process([(1, b"x")], 1))
+            except StorageServerDown:
+                caught.append(True)
+
+        caught = []
+        env.process(client(caught))
+        env.run()
+        assert caught == [True]
+
+    def test_writes_queue_behind_reads_on_the_pipeline(self, env):
+        model = StorageServiceModel(
+            per_request=10e-6, per_key=0, per_byte=0,
+            write_per_request=10e-6, write_per_key=0, write_per_byte=0,
+        )
+        server = StorageServer(env, 0, model)
+        server.load(1, b"x")
+
+        def reader():
+            yield env.process(server.multiget_process([1]))
+
+        def writer(times):
+            yield env.process(server.multiput_process([(2, b"y")], 1))
+            times.append(env.now)
+
+        times = []
+        env.process(reader())
+        env.process(writer(times))
+        env.run()
+        assert times == [pytest.approx(20e-6)]  # write waited for the read
+
+    def test_tier_multiput_groups_and_runs_in_parallel(self, env):
+        model = StorageServiceModel(
+            write_per_request=10e-6, write_per_key=0, write_per_byte=0,
+        )
+        tier = StorageTier(
+            env, num_servers=2, service_model=model,
+            partitioner=modulo_partitioner,
+        )
+        proc = env.process(tier.multiput_process([
+            (0, 8, b"a"), (1, 8, b"b"), (2, 8, b"c"),
+        ]))
+        written = env.run(until=proc)
+        assert written == (3, 24, None)
+        # One multiput per server, concurrently: one write service time.
+        assert env.now == pytest.approx(10e-6)
+        assert tier.servers[0].records_written == 2  # keys 0 and 2
+        assert tier.servers[1].records_written == 1
+        assert tier.servers[0].store.get(0) == b"a"
+
+    def test_tier_multiput_charges_network_when_given(self, env):
+        from repro.costs import NetworkModel
+
+        model = StorageServiceModel(
+            write_per_request=10e-6, write_per_key=0, write_per_byte=0,
+        )
+        network = NetworkModel(name="test", latency=5e-6, bandwidth=1e12)
+        tier = StorageTier(
+            env, num_servers=1, service_model=model,
+            partitioner=modulo_partitioner,
+        )
+        proc = env.process(tier.multiput_process([(0, 4, None)], network))
+        env.run(until=proc)
+        # request transfer + write + ack transfer (~latency-dominated).
+        assert env.now == pytest.approx(20e-6, rel=0.01)
+
+    def test_tier_multiput_empty_batch_is_noop(self, env):
+        tier = StorageTier(env, num_servers=2)
+        proc = env.process(tier.multiput_process([]))
+        assert env.run(until=proc) == (0, 0, None)
+        assert env.now == 0.0
+
+    def test_tier_multiput_partial_failure_reports_survivors(self, env):
+        # One server down: the other's leg still completes, totals count
+        # it, and the first error is returned instead of raised.
+        model = StorageServiceModel(
+            write_per_request=10e-6, write_per_key=0, write_per_byte=0,
+        )
+        tier = StorageTier(
+            env, num_servers=2, service_model=model,
+            partitioner=modulo_partitioner,
+        )
+        tier.servers[0].fail()
+        proc = env.process(tier.multiput_process([
+            (0, 8, b"a"), (1, 8, b"b"),
+        ]))
+        records, nbytes, error = env.run(until=proc)
+        assert isinstance(error, StorageServerDown)
+        assert (records, nbytes) == (1, 8)
+        assert tier.servers[1].store.get(1) == b"b"
+        assert tier.servers[0].records_written == 0
