@@ -10,6 +10,7 @@ reproduction's analogue of the paper's figures.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -30,8 +31,28 @@ RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "bench_results"))
 
 
 def bench_scale(default: float = 1.0) -> float:
-    """Graph scale for benchmarks, overridable via REPRO_BENCH_SCALE."""
-    return float(os.environ.get(SCALE_ENV, default))
+    """Graph scale for benchmarks, overridable via REPRO_BENCH_SCALE.
+
+    Validated eagerly so a typo'd CI variable fails the job at startup
+    with a clear message, not deep inside a dataset loader (or worse,
+    silently benchmarking the wrong graph size).
+    """
+    raw = os.environ.get(SCALE_ENV)
+    if raw is None:
+        return default
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SCALE_ENV} must be a number (e.g. 0.05 or 1.0), "
+            f"got {raw!r}"
+        ) from None
+    if not math.isfinite(scale) or scale <= 0:
+        raise ValueError(
+            f"{SCALE_ENV} must be a positive, finite graph scale, "
+            f"got {raw!r}"
+        )
+    return scale
 
 
 @dataclass

@@ -1,0 +1,90 @@
+"""Validate benchmark artifacts against the metadata contract.
+
+Every JSON under ``bench_results/`` is produced by
+:func:`repro.bench.harness.emit` and must carry the perf-trajectory
+metadata block (``wall_clock_seconds``, ``kernel_events``,
+``events_per_second``) alongside its table payload. CI runs this module
+over the committed artifacts so a harness regression — or a hand-edited
+artifact — fails the build instead of silently breaking the perf
+trajectory future PRs read.
+
+Usage::
+
+    python -m repro.bench.validate [results_dir]
+
+Exit status 0 when every artifact conforms; 1 with one line per problem
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from .harness import RESULTS_DIR
+
+#: The perf-trajectory contract every artifact's ``metadata`` block owes.
+REQUIRED_METADATA = ("wall_clock_seconds", "kernel_events",
+                     "events_per_second")
+
+#: Table payload keys :func:`repro.bench.harness.emit` always writes.
+REQUIRED_PAYLOAD = ("title", "headers", "rows")
+
+
+def validate_artifact(path: Path) -> List[str]:
+    """Problems with one artifact file (empty list = conforming)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable or invalid JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path.name}: top level must be a JSON object"]
+
+    problems = []
+    for key in REQUIRED_PAYLOAD:
+        if key not in payload:
+            problems.append(f"{path.name}: missing {key!r}")
+    metadata = payload.get("metadata")
+    if not isinstance(metadata, dict):
+        problems.append(f"{path.name}: missing metadata block")
+        return problems
+    for key in REQUIRED_METADATA:
+        value = metadata.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                f"{path.name}: metadata.{key} must be a number, "
+                f"got {value!r}"
+            )
+    return problems
+
+
+def validate_results_dir(results_dir: Path = RESULTS_DIR) -> List[str]:
+    """Problems across every ``*.json`` artifact in ``results_dir``."""
+    if not results_dir.is_dir():
+        return [f"{results_dir}: not a directory"]
+    paths = sorted(results_dir.glob("*.json"))
+    if not paths:
+        return [f"{results_dir}: contains no *.json artifacts"]
+    problems = []
+    for path in paths:
+        problems.extend(validate_artifact(path))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    results_dir = Path(argv[1]) if len(argv) > 1 else RESULTS_DIR
+    problems = validate_results_dir(results_dir)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    count = len(list(results_dir.glob("*.json")))
+    print(f"OK {count} artifacts in {results_dir} conform to the "
+          "metadata contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,15 @@
 """gRouting core: decoupled cluster, router, processors, smart routing,
 and the open query-operator registry."""
 
+from .admission import (
+    ADMITTED,
+    REJECTED,
+    SHED,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+    TenantAdmissionStats,
+)
 from .assets import GraphAssets
 from .cache import CacheStats, ProcessorCache
 from .cluster import GRoutingCluster, run_workload
@@ -47,7 +56,13 @@ from .routing import (
 )
 
 __all__ = [
+    "ADMITTED",
+    "REJECTED",
+    "SHED",
     "AdaptiveRouting",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
     "CacheStats",
     "ClusterConfig",
     "EmbedRouting",
@@ -78,6 +93,7 @@ __all__ = [
     "Router",
     "RoutingFeedback",
     "RoutingStrategy",
+    "TenantAdmissionStats",
     "UnknownOperatorError",
     "UpdateReport",
     "UnknownQueryTypeError",

@@ -1,0 +1,381 @@
+"""Per-tenant admission control, DRR fair queueing, and load shedding.
+
+The :class:`~repro.core.router.Router` is a closed-loop dispatcher: it
+assumes whoever submits is willing to wait, so under open-loop arrivals
+(:mod:`repro.workloads.open_loop`) its queues — and every query's sojourn
+time — grow without bound the moment offered load crosses capacity. This
+module is the front door that makes overload survivable:
+
+* **bounded per-tenant queues** — each tenant owns a FIFO of at most
+  ``tenant_queue_limit`` queries; a full queue *rejects* new arrivals,
+  which is the backpressure signal to that tenant (and only that tenant);
+* **deficit round-robin release** — queued queries enter the router in
+  DRR order with per-cost-class weights, so one tenant's heavy analytics
+  cannot starve another tenant's point lookups, and the router itself is
+  kept shallow (``router_depth``) so queueing happens where fairness is
+  enforceable;
+* **load shedding** — past the overload watermark the controller drops
+  the *heavy* operators first (``k_reach``, ``ppr`` by default); past the
+  severe watermark everything but point-class queries sheds. Shedding is
+  cheaper than rejecting at the queue: a shed query never occupies a
+  slot a cheap query could have used;
+* **overload accounting** — entry/exit of the overload regime is
+  recorded as ``(start, end)`` windows of simulated time, with hysteresis
+  so the boundary doesn't chatter.
+
+Decisions happen at *offer* time against live pressure (queued work plus
+router backlog); everything admitted is eventually served. The
+:class:`AdmissionStats` the controller produces ride on the
+:class:`~repro.core.metrics.WorkloadReport` so goodput-vs-offered-load
+and per-tenant shed/reject counts land next to the latency percentiles
+they explain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from .operators.registry import default_registry
+from .queries import Query
+
+#: Admission decisions returned by :meth:`AdmissionController.offer`.
+ADMITTED = "admitted"
+REJECTED = "rejected"
+SHED = "shed"
+
+#: DRR cost weights per query class: releasing one traversal spends as
+#: much of a tenant's deficit as sixteen point lookups (the same coarse
+#: cost ordering the operator registry's classes encode).
+DEFAULT_CLASS_WEIGHTS: Mapping[str, float] = {
+    "point": 1.0,
+    "walk": 4.0,
+    "traversal": 16.0,
+}
+
+#: Operators shed first under overload: the two whose service demand
+#: dwarfs the rest of the catalog (multi-walk PPR, batched reachability).
+DEFAULT_HEAVY_OPERATORS = frozenset({"k_reach", "ppr"})
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the admission/fair-queueing layer.
+
+    Overload watermarks are *fractions of aggregate tenant queue
+    capacity* (``tenants_seen * tenant_queue_limit``), measured against
+    total pending work (queued + router backlog): ``overload_high``
+    enters overload, ``overload_low`` exits it (hysteresis), and
+    ``severe_high`` escalates shedding from the heavy operators to every
+    non-point query.
+    """
+
+    tenant_queue_limit: int = 64
+    quantum: float = 16.0
+    class_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CLASS_WEIGHTS)
+    )
+    heavy_operators: frozenset = DEFAULT_HEAVY_OPERATORS
+    #: Max router backlog the DRR pump maintains (None = 2 per processor).
+    router_depth: Optional[int] = None
+    overload_high: float = 0.5
+    overload_low: float = 0.25
+    severe_high: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.tenant_queue_limit < 1:
+            raise ValueError("tenant_queue_limit must be >= 1")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if any(w <= 0 for w in self.class_weights.values()):
+            raise ValueError("class weights must be positive")
+        if self.router_depth is not None and self.router_depth < 1:
+            raise ValueError("router_depth must be >= 1")
+        if not 0 < self.overload_low <= self.overload_high <= self.severe_high:
+            raise ValueError(
+                "watermarks must satisfy 0 < overload_low <= overload_high "
+                "<= severe_high"
+            )
+
+
+@dataclass
+class TenantAdmissionStats:
+    """Offer-time outcome counters for one tenant."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    shed_by_operator: Dict[str, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+
+
+@dataclass
+class AdmissionStats:
+    """What the admission layer did over one serving run."""
+
+    tenants: Dict[str, TenantAdmissionStats] = field(default_factory=dict)
+    #: Closed ``[start, end)`` overload windows, in simulated seconds.
+    overload_windows: List[Tuple[float, float]] = field(default_factory=list)
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def offered(self) -> int:
+        return sum(t.offered for t in self.tenants.values())
+
+    @property
+    def admitted(self) -> int:
+        return sum(t.admitted for t in self.tenants.values())
+
+    @property
+    def rejected(self) -> int:
+        return sum(t.rejected for t in self.tenants.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants.values())
+
+    def delivery_ratio(self) -> float:
+        """Admitted / offered — 1.0 means nothing was dropped."""
+        offered = self.offered
+        return self.admitted / offered if offered else 1.0
+
+    def time_in_overload(self) -> float:
+        """Total simulated seconds spent inside overload windows."""
+        return sum(end - start for start, end in self.overload_windows)
+
+
+class _TenantState:
+    """One tenant's bounded FIFO and DRR deficit counter."""
+
+    __slots__ = ("queue", "deficit", "stats")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Query] = deque()
+        self.deficit = 0.0
+        self.stats = TenantAdmissionStats()
+
+
+class AdmissionController:
+    """Admission + DRR fair-queueing front end for one :class:`Router`.
+
+    ``config=None`` builds a *passthrough* controller: every offer goes
+    straight to the router (unbounded queueing, no shedding) while the
+    per-tenant offered/admitted counters still accumulate — the naive
+    baseline an SLO benchmark compares against.
+
+    The controller registers a router completion callback while
+    :meth:`attach`-ed, so freed capacity pulls queued work in DRR order
+    without any polling process.
+    """
+
+    def __init__(self, router, config: Optional[AdmissionConfig] = None) -> None:
+        self.router = router
+        self.env = router.env
+        self.config = config
+        self._tenants: Dict[str, _TenantState] = {}
+        self._order: List[str] = []
+        self._cursor = 0
+        self._queued = 0
+        self._overload_level = 0
+        self._overload_since: Optional[float] = None
+        self._windows: List[Tuple[float, float]] = []
+        self._attached = False
+        if config is not None and config.router_depth is not None:
+            self._router_depth = config.router_depth
+        else:
+            self._router_depth = 2 * router.num_processors
+
+    # -- lifecycle ------------------------------------------------------------
+    def attach(self) -> "AdmissionController":
+        """Start pulling queued work on every router completion."""
+        if not self._attached:
+            self.router.add_completion_callback(self._on_completion)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.router.remove_completion_callback(self._on_completion)
+            self._attached = False
+
+    def _on_completion(self) -> None:
+        self.pump()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def passthrough(self) -> bool:
+        return self.config is None
+
+    def queued(self, tenant: Optional[str] = None) -> int:
+        """Queries waiting in tenant queues (one tenant, or all)."""
+        if tenant is None:
+            return self._queued
+        state = self._tenants.get(tenant)
+        return len(state.queue) if state is not None else 0
+
+    def pending(self) -> int:
+        """Total un-finished admitted+queued work the controller sees."""
+        return self._queued + self.router.backlog()
+
+    def backpressure(self, tenant: str) -> bool:
+        """True when ``tenant``'s queue is full — the caller should back
+        off (its next offers will be rejected)."""
+        if self.config is None:
+            return False
+        state = self._tenants.get(tenant)
+        return (
+            state is not None
+            and len(state.queue) >= self.config.tenant_queue_limit
+        )
+
+    @property
+    def overloaded(self) -> bool:
+        return self._overload_level > 0
+
+    # -- admission -------------------------------------------------------------
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState()
+            self._tenants[tenant] = state
+            self._order.append(tenant)
+        return state
+
+    def _cost(self, query: Query) -> float:
+        weights = (
+            self.config.class_weights
+            if self.config is not None
+            else DEFAULT_CLASS_WEIGHTS
+        )
+        query_class = default_registry.classify(query)
+        return weights.get(query_class, max(weights.values()))
+
+    def _update_overload(self) -> None:
+        config = self.config
+        if config is None:
+            return
+        capacity = max(1, len(self._tenants)) * config.tenant_queue_limit
+        pending = self.pending()
+        if self._overload_level == 0:
+            if pending >= config.overload_high * capacity:
+                self._overload_level = 1
+                self._overload_since = self.env.now
+        elif pending <= config.overload_low * capacity:
+            self._overload_level = 0
+            if self._overload_since is not None:
+                self._windows.append((self._overload_since, self.env.now))
+                self._overload_since = None
+        if self._overload_level:
+            severe = pending >= config.severe_high * capacity
+            self._overload_level = 2 if severe else 1
+
+
+    def _should_shed(self, query: Query) -> bool:
+        if self._overload_level == 0:
+            return False
+        assert self.config is not None
+        name = default_registry.operator_name(query)
+        if name in self.config.heavy_operators:
+            return True
+        if self._overload_level >= 2:
+            return default_registry.classify(query) != "point"
+        return False
+
+    def offer(self, query: Query, tenant: str = "default") -> str:
+        """Offer one open-loop arrival; returns the admission decision.
+
+        ``ADMITTED`` queries are queued (and released to the router in
+        DRR order); ``SHED`` and ``REJECTED`` queries are dropped on the
+        floor — in an open-loop system the arrival already happened, so
+        dropping, not blocking, is the only backpressure available.
+        """
+        state = self._tenant(tenant)
+        state.stats.offered += 1
+        if self.config is None:
+            state.stats.admitted += 1
+            self.router.submit([query], tenant=tenant)
+            return ADMITTED
+        self._update_overload()
+        if self._should_shed(query):
+            state.stats.shed += 1
+            name = default_registry.operator_name(query)
+            state.stats.shed_by_operator[name] = (
+                state.stats.shed_by_operator.get(name, 0) + 1
+            )
+            return SHED
+        if len(state.queue) >= self.config.tenant_queue_limit:
+            state.stats.rejected += 1
+            return REJECTED
+        state.queue.append(query)
+        self._queued += 1
+        state.stats.admitted += 1
+        if len(state.queue) > state.stats.max_queue_depth:
+            state.stats.max_queue_depth = len(state.queue)
+        self.pump()
+        return ADMITTED
+
+    # -- DRR release ------------------------------------------------------------
+    def pump(self) -> int:
+        """Release queued queries into the router in DRR order.
+
+        Runs until the router backlog reaches ``router_depth`` or the
+        tenant queues drain; returns how many queries were released. Each
+        DRR visit grants one ``quantum`` of deficit, a release spends the
+        query's class weight, and a tenant that empties its queue forfeits
+        its remaining deficit (idle tenants bank no credit — standard DRR).
+        """
+        if self.config is None:
+            return 0
+        released = 0
+        router = self.router
+        depth = self._router_depth
+        quantum = self.config.quantum
+        while self._queued > 0 and router.backlog() < depth:
+            # Advance the cursor to the next tenant with queued work.
+            num = len(self._order)
+            for _ in range(num):
+                name = self._order[self._cursor % num]
+                self._cursor += 1
+                state = self._tenants[name]
+                if state.queue:
+                    break
+            state.deficit += quantum
+            while state.queue and router.backlog() < depth:
+                cost = self._cost(state.queue[0])
+                if state.deficit < cost:
+                    break
+                query = state.queue.popleft()
+                self._queued -= 1
+                state.deficit -= cost
+                router.submit([query], tenant=name)
+                released += 1
+            if not state.queue:
+                state.deficit = 0.0
+        if released:
+            self._update_overload()
+        return released
+
+    # -- reporting ---------------------------------------------------------------
+    def stats(self, now: Optional[float] = None) -> AdmissionStats:
+        """Snapshot the admission outcome (open overload window closed at
+        ``now``, default the current simulated time)."""
+        end = self.env.now if now is None else now
+        windows = list(self._windows)
+        if self._overload_since is not None:
+            windows.append((self._overload_since, end))
+        return AdmissionStats(
+            tenants={
+                name: TenantAdmissionStats(
+                    offered=s.stats.offered,
+                    admitted=s.stats.admitted,
+                    rejected=s.stats.rejected,
+                    shed=s.stats.shed,
+                    shed_by_operator=dict(s.stats.shed_by_operator),
+                    max_queue_depth=s.stats.max_queue_depth,
+                )
+                for name, s in self._tenants.items()
+            },
+            overload_windows=windows,
+        )

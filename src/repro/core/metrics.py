@@ -13,7 +13,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import for annotations only: admission is a consumer
+    from .admission import AdmissionStats
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = int(round(q / 100 * (len(sorted_values) - 1)))
+    return sorted_values[min(len(sorted_values) - 1, max(0, rank))]
 
 
 @dataclass
@@ -50,6 +61,9 @@ class QueryRecord:
     query_class: str = ""
     #: Registered operator name (``kind`` keeps the raw query type name).
     operator: str = ""
+    #: Tenant whose stream submitted this query ("" = untenanted,
+    #: single-stream submission — every pre-multi-tenant record).
+    tenant: str = ""
 
     @property
     def response_time(self) -> float:
@@ -71,6 +85,10 @@ class WorkloadReport:
     num_processors: int = 0
     num_storage_servers: int = 0
     routing: str = ""
+    #: Admission-layer outcome of an open-loop serve (None for closed-loop
+    #: runs). Run-level, deliberately not clipped by :meth:`window`: shed
+    #: and rejected queries never produce records to clip by.
+    admission: Optional["AdmissionStats"] = None
 
     # -- headline metrics ---------------------------------------------------
     def throughput(self) -> float:
@@ -94,8 +112,85 @@ class WorkloadReport:
         if not self.records:
             return 0.0
         times = sorted(r.response_time for r in self.records)
-        rank = min(len(times) - 1, max(0, int(round(q / 100 * (len(times) - 1)))))
-        return times[rank]
+        return _percentile(times, q)
+
+    def percentile_sojourn_time(self, q: float) -> float:
+        """q-th percentile sojourn (arrival-to-completion) time.
+
+        The SLO metric: under open-loop overload the collapse shows up in
+        queueing delay, which response time deliberately excludes.
+        """
+        if not self.records:
+            return 0.0
+        times = sorted(r.sojourn_time for r in self.records)
+        return _percentile(times, q)
+
+    # -- SLO metrics (open-loop serving) --------------------------------------
+    def offered(self) -> int:
+        """Queries offered to the admission layer (completed count when
+        the run was closed-loop — nothing was ever dropped)."""
+        if self.admission is None:
+            return len(self.records)
+        return self.admission.offered
+
+    def offered_load(self) -> float:
+        """Offered queries per second of simulated makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.offered() / self.makespan
+
+    def goodput(self) -> float:
+        """Successfully completed queries per second — the number that,
+        compared against :meth:`offered_load`, shows what overload cost.
+        Every record is a completed query, so this equals throughput; the
+        gap to offered load is the shed + rejected (and still-queued)
+        work."""
+        return self.throughput()
+
+    def time_in_overload(self) -> float:
+        """Simulated seconds the admission layer spent in overload."""
+        return (
+            self.admission.time_in_overload()
+            if self.admission is not None
+            else 0.0
+        )
+
+    def per_tenant_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant SLO view: volume, sojourn p99/p999, drop counts.
+
+        Sojourn percentiles are over *completed* queries; the admission
+        counters alongside them say how many of the tenant's offers never
+        completed (shed / rejected) — read them together: a tenant with a
+        great p99 and half its traffic shed did not have a great day.
+        """
+        groups: Dict[str, List[QueryRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.tenant or "default", []).append(record)
+        admission = self.admission.tenants if self.admission is not None else {}
+        stats: Dict[str, Dict[str, float]] = {}
+        for tenant in sorted(set(groups) | set(admission)):
+            records = groups.get(tenant, [])
+            sojourns = sorted(r.sojourn_time for r in records)
+            entry: Dict[str, float] = {
+                "queries": len(records),
+                "mean_response_ms": (
+                    sum(r.response_time for r in records) / len(records) * 1e3
+                    if records else 0.0
+                ),
+                "mean_sojourn_ms": (
+                    sum(sojourns) / len(sojourns) * 1e3 if sojourns else 0.0
+                ),
+                "p99_sojourn_ms": _percentile(sojourns, 99) * 1e3,
+                "p999_sojourn_ms": _percentile(sojourns, 99.9) * 1e3,
+            }
+            tenant_admission = admission.get(tenant)
+            if tenant_admission is not None:
+                entry["offered"] = tenant_admission.offered
+                entry["admitted"] = tenant_admission.admitted
+                entry["rejected"] = tenant_admission.rejected
+                entry["shed"] = tenant_admission.shed
+            stats[tenant] = entry
+        return stats
 
     # -- cache metrics (Eq. 8 / 9) --------------------------------------------
     def total_cache_hits(self) -> int:
@@ -240,7 +335,27 @@ class WorkloadReport:
         return sum(r.stats.bytes_fetched for r in self.records)
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict for table printing and JSON artifacts."""
+        """Flat dict for table printing and JSON artifacts.
+
+        Open-loop serves (``admission`` present) add the SLO block:
+        offered/goodput, drop counters and time in overload.
+        """
+        summary = self._base_summary()
+        if self.admission is not None:
+            summary.update({
+                "offered": self.admission.offered,
+                "offered_qps": self.offered_load(),
+                "goodput_qps": self.goodput(),
+                "delivery_ratio": self.admission.delivery_ratio(),
+                "shed": self.admission.shed,
+                "rejected": self.admission.rejected,
+                "p99_sojourn_ms": self.percentile_sojourn_time(99) * 1e3,
+                "p999_sojourn_ms": self.percentile_sojourn_time(99.9) * 1e3,
+                "time_in_overload_s": self.time_in_overload(),
+            })
+        return summary
+
+    def _base_summary(self) -> Dict[str, float]:
         return {
             "queries": len(self.records),
             "routing": self.routing,

@@ -28,6 +28,7 @@ class _PendingInfo:
     decision_time: float
     enqueued_at: float
     routed_via: str
+    tenant: str
 
 
 class Router:
@@ -56,6 +57,7 @@ class Router:
         self._submitted = 0
         self._completed = 0
         self._backlog_waits: List[Tuple[int, Event]] = []
+        self._completion_callbacks: List = []
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -115,11 +117,31 @@ class Router:
             self._backlog_waits.append((threshold, event))
         return event
 
-    def submit(self, queries: Sequence[Query]) -> None:
+    def add_completion_callback(self, callback) -> None:
+        """Call ``callback()`` after every query completion (ack).
+
+        This is how the admission layer learns that capacity freed: each
+        completion pulls the next queued query in fair-queueing order.
+        Callbacks run after the router's own dispatch bookkeeping, so they
+        observe the post-ack backlog and may themselves ``submit``.
+        """
+        self._completion_callbacks.append(callback)
+
+    def remove_completion_callback(self, callback) -> None:
+        """Detach a completion callback (missing callbacks are ignored)."""
+        try:
+            self._completion_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def submit(self, queries: Sequence[Query], tenant: str = "") -> None:
         """Route a batch of queries and kick every idle processor.
 
         May be called repeatedly (wave-based submission): the ``done`` event
         is re-armed whenever new work arrives after a completed batch.
+        ``tenant`` labels every query of the batch on its eventual
+        :class:`~repro.core.metrics.QueryRecord` (multi-tenant serving);
+        the default empty label keeps single-tenant submission unchanged.
 
         Raises ``RuntimeError`` (rather than hanging silently) when the
         router has been shut down or no alive processor remains to execute
@@ -164,6 +186,7 @@ class Router:
                 decision_time=self.strategy.decision_time(self.num_processors),
                 enqueued_at=self.env.now,
                 routed_via=self.strategy.decision_label(query),
+                tenant=tenant,
             )
             if target is not None and not 0 <= target < self.num_processors:
                 raise ValueError(
@@ -246,6 +269,7 @@ class Router:
             routed_via=info.routed_via,
             query_class=query_class(query),
             operator=operator_name(query),
+            tenant=info.tenant,
         )
         self.records.append(record)
         self.strategy.on_feedback(
@@ -273,8 +297,13 @@ class Router:
                     event.succeed(backlog)
         if self._completed == self._submitted and not self.done.triggered:
             self.done.succeed(self._completed)
-            return
-        self._dispatch(processor_id)
+        else:
+            self._dispatch(processor_id)
+        # Completion callbacks run last (on *every* ack, including the one
+        # completing a batch): they see the settled backlog and may submit
+        # further work, which re-arms ``done`` as usual.
+        for callback in self._completion_callbacks:
+            callback()
 
     def on_requeue(self, processor_id: int, query: Query) -> None:
         """A dead processor returned a query it never started executing."""

@@ -45,13 +45,19 @@ from itertools import islice
 from math import inf, nextafter
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..costs import DEFAULT_COSTS, CostModel
 from ..graph.digraph import Graph
 from ..graph.updates import GraphUpdate
 from ..sim import Environment
 from ..storage.tier import StorageTier
+from .admission import AdmissionConfig, AdmissionController, AdmissionStats
 from .assets import GraphAssets
 from .metrics import QueryRecord, WorkloadReport
+
+if TYPE_CHECKING:  # annotation only: workloads imports core, not vice versa
+    from ..workloads.open_loop import Arrival
 from .processor import QueryProcessor
 from .queries import Query, QueryIdAllocator
 from .router import Router
@@ -448,6 +454,7 @@ class QuerySession:
         self._end_index: Optional[int] = None
         self._cursor = self._start_index
         self.submitted = 0
+        self._admission_stats: Optional[AdmissionStats] = None
 
     # -- state ----------------------------------------------------------------
     @property
@@ -586,6 +593,76 @@ class QuerySession:
             submitted += len(queries)
         return submitted
 
+    # -- open-loop serving --------------------------------------------------------
+    def serve(
+        self,
+        arrivals: Iterable["Arrival"],
+        admission: Optional[AdmissionConfig] = None,
+    ) -> AdmissionStats:
+        """Serve an open-loop arrival stream to completion.
+
+        ``arrivals`` is any time-ordered iterable of
+        :class:`~repro.workloads.open_loop.Arrival` items (use
+        :func:`~repro.workloads.open_loop.merge_arrivals` to multiplex
+        tenants); each query is *injected at its absolute simulated
+        timestamp* (offset from the moment this call starts), whether or
+        not earlier queries have completed — the opposite of
+        :meth:`stream`'s closed-loop waves, and the regime where offered
+        load can exceed capacity.
+
+        ``admission`` enables the per-tenant admission-control /
+        fair-queueing layer (see :mod:`repro.core.admission`): bounded
+        tenant queues whose overflow *rejects* (per-tenant backpressure),
+        DRR release into the router, and load shedding that drops heavy
+        operators first under overload. ``None`` serves naively — every
+        arrival goes straight to the router FIFO, so past saturation the
+        backlog (and every sojourn time) grows without bound; that is the
+        baseline the SLO benchmark collapses.
+
+        Runs until every arrival has been offered and every admitted
+        query completed; returns the :class:`AdmissionStats` (also
+        attached to this session's :meth:`report` as ``report.admission``,
+        lighting up the per-tenant p99/p999 and goodput-vs-offered SLO
+        metrics). Shed and rejected queries produce no records.
+        """
+        self._check_open()
+        env = self.env
+        router = self.router
+        controller = AdmissionController(router, admission).attach()
+        origin = env.now
+        tag = self._tag
+
+        def drive():
+            last = None
+            for arrival in arrivals:
+                at = arrival.at
+                if last is not None and at < last:
+                    raise ValueError(
+                        "arrival stream is not time-ordered "
+                        f"({at} after {last}); merge per-tenant streams "
+                        "with repro.workloads.merge_arrivals"
+                    )
+                last = at
+                delay = origin + at - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                controller.offer(tag(arrival.query), arrival.tenant)
+
+        try:
+            driver = env.process(drive())
+            env.run(until=driver)
+            controller.pump()
+            while router.backlog() > 0 or controller.queued() > 0:
+                if router.backlog() == 0 and controller.pump() == 0:
+                    break  # defensive: nothing in flight, nothing releasable
+                env.run(until=router.done)
+        finally:
+            controller.detach()
+        stats = controller.stats()
+        self._admission_stats = stats
+        self.submitted += stats.admitted
+        return stats
+
     # -- completion --------------------------------------------------------------
     def results(self) -> Iterator[QueryRecord]:
         """Yield this session's records in completion order, advancing the
@@ -671,6 +748,10 @@ class QuerySession:
             num_processors=config.num_processors,
             num_storage_servers=config.num_storage_servers,
             routing=config.routing,
+            # Admission outcome of this session's open-loop serve, if any
+            # (the latest serve's — one serve per session is the intended
+            # shape). Enables the per-tenant / goodput SLO metrics.
+            admission=self._admission_stats,
         )
         if since is not None or until is not None:
             t0 = self.started_at if since is None else since

@@ -8,7 +8,11 @@ accept any registered query operator in their ``mix`` (see
 dedicated streams shaping traffic for the extended families (``ppr``,
 ``k_reach``, ``sample``); :mod:`~repro.workloads.updates` adds
 :func:`churn_stream`, which interleaves live
-:class:`~repro.graph.updates.GraphUpdate` mutations with hotspot queries.
+:class:`~repro.graph.updates.GraphUpdate` mutations with hotspot queries;
+:mod:`~repro.workloads.open_loop` timestamps any query stream as an
+open-loop arrival process (Poisson / diurnal / flash-crowd) and
+multiplexes per-tenant streams for
+:meth:`~repro.core.service.QuerySession.serve`.
 """
 
 from .families import (
@@ -30,18 +34,30 @@ from .hotspot import (
     zipfian_stream,
     zipfian_workload,
 )
+from .open_loop import (
+    Arrival,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+)
 from .updates import churn_stream, churn_workload
 
 __all__ = [
+    "Arrival",
     "DEFAULT_MIX",
     "FULL_MIX",
     "churn_stream",
     "churn_workload",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "hotspot_stream",
     "hotspot_workload",
     "interleave",
     "k_reach_stream",
     "k_reach_workload",
+    "merge_arrivals",
+    "poisson_arrivals",
     "ppr_stream",
     "ppr_workload",
     "sample_stream",

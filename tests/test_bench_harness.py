@@ -2,6 +2,7 @@
 
 import json
 
+import pytest
 
 from repro.bench.harness import Timer, bench_scale, format_table, get_context
 
@@ -86,6 +87,19 @@ class TestContext:
         assert bench_scale() == 0.125
         monkeypatch.delenv("REPRO_BENCH_SCALE")
         assert bench_scale(0.75) == 0.75
+
+    def test_bench_scale_rejects_garbage(self, monkeypatch):
+        """A typo'd CI variable fails loudly at startup, naming the var."""
+        for bad in ("fast", "", "1.0.0"):
+            monkeypatch.setenv("REPRO_BENCH_SCALE", bad)
+            with pytest.raises(ValueError, match="REPRO_BENCH_SCALE"):
+                bench_scale()
+
+    def test_bench_scale_rejects_nonpositive_and_nonfinite(self, monkeypatch):
+        for bad in ("0", "-0.5", "inf", "nan"):
+            monkeypatch.setenv("REPRO_BENCH_SCALE", bad)
+            with pytest.raises(ValueError, match="positive, finite"):
+                bench_scale()
 
 
 class TestTimer:

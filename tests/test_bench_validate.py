@@ -1,0 +1,108 @@
+"""Artifact metadata-contract validator (what CI runs over bench_results)."""
+
+import json
+from pathlib import Path
+
+from repro.bench.validate import (
+    REQUIRED_METADATA,
+    main,
+    validate_artifact,
+    validate_results_dir,
+)
+
+GOOD = {
+    "title": "t",
+    "headers": ["h"],
+    "rows": [[1]],
+    "generated_at": "2026-01-01 00:00:00",
+    "metadata": {
+        "wall_clock_seconds": 0.5,
+        "kernel_events": 1000,
+        "events_per_second": 2000,
+    },
+}
+
+
+def write(tmp_path: Path, name: str, payload) -> Path:
+    path = tmp_path / name
+    path.write_text(payload if isinstance(payload, str) else json.dumps(payload))
+    return path
+
+
+class TestValidateArtifact:
+    def test_conforming_artifact_passes(self, tmp_path):
+        assert validate_artifact(write(tmp_path, "good.json", GOOD)) == []
+
+    def test_invalid_json_fails(self, tmp_path):
+        problems = validate_artifact(write(tmp_path, "bad.json", "{not json"))
+        assert len(problems) == 1
+        assert "invalid JSON" in problems[0]
+
+    def test_non_object_fails(self, tmp_path):
+        problems = validate_artifact(write(tmp_path, "list.json", [1, 2]))
+        assert "JSON object" in problems[0]
+
+    def test_missing_metadata_block_fails(self, tmp_path):
+        payload = {k: v for k, v in GOOD.items() if k != "metadata"}
+        problems = validate_artifact(write(tmp_path, "nometa.json", payload))
+        assert any("missing metadata block" in p for p in problems)
+
+    def test_each_required_metadata_key_enforced(self, tmp_path):
+        for key in REQUIRED_METADATA:
+            payload = dict(GOOD)
+            payload["metadata"] = {
+                k: v for k, v in GOOD["metadata"].items() if k != key
+            }
+            problems = validate_artifact(
+                write(tmp_path, f"missing_{key}.json", payload)
+            )
+            assert any(f"metadata.{key}" in p for p in problems)
+
+    def test_non_numeric_metadata_fails(self, tmp_path):
+        payload = dict(GOOD)
+        payload["metadata"] = dict(GOOD["metadata"],
+                                   wall_clock_seconds="fast")
+        problems = validate_artifact(write(tmp_path, "strmeta.json", payload))
+        assert any("wall_clock_seconds" in p for p in problems)
+        # Booleans are ints in Python but not numbers in the contract.
+        payload["metadata"] = dict(GOOD["metadata"], kernel_events=True)
+        problems = validate_artifact(write(tmp_path, "boolmeta.json", payload))
+        assert any("kernel_events" in p for p in problems)
+
+    def test_missing_payload_keys_fail(self, tmp_path):
+        payload = {"metadata": dict(GOOD["metadata"])}
+        problems = validate_artifact(write(tmp_path, "norows.json", payload))
+        joined = "\n".join(problems)
+        for key in ("title", "headers", "rows"):
+            assert repr(key) in joined
+
+
+class TestValidateResultsDir:
+    def test_mixed_directory_reports_only_bad(self, tmp_path):
+        write(tmp_path, "good.json", GOOD)
+        write(tmp_path, "bad.json", "{")
+        problems = validate_results_dir(tmp_path)
+        assert len(problems) == 1
+        assert problems[0].startswith("bad.json")
+
+    def test_missing_or_empty_directory_fails(self, tmp_path):
+        assert validate_results_dir(tmp_path / "absent")
+        assert any(
+            "no *.json" in p for p in validate_results_dir(tmp_path)
+        )
+
+    def test_committed_artifacts_conform(self):
+        """The contract holds for everything committed in bench_results —
+        the same check CI's bench-artifacts-validate step runs."""
+        results = Path(__file__).resolve().parent.parent / "bench_results"
+        assert validate_results_dir(results) == []
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        write(tmp_path, "good.json", GOOD)
+        assert main(["validate", str(tmp_path)]) == 0
+        assert "OK 1 artifacts" in capsys.readouterr().out
+        write(tmp_path, "bad.json", "{")
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "FAIL bad.json" in capsys.readouterr().err
