@@ -22,6 +22,7 @@ from .operators import (
     default_registry,
     gather_nodes,
 )
+from .placement import PlacementConfig, PlacementManager
 from .processor import QueryProcessor
 from .queries import (
     QUERY_CLASSES,
@@ -78,6 +79,8 @@ __all__ = [
     "NextReadyRouting",
     "OperatorRegistry",
     "PersonalizedPageRankQuery",
+    "PlacementConfig",
+    "PlacementManager",
     "ProcessorCache",
     "QUERY_CLASSES",
     "Query",

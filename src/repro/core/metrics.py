@@ -89,6 +89,17 @@ class WorkloadReport:
     #: runs). Run-level, deliberately not clipped by :meth:`window`: shed
     #: and rejected queries never produce records to clip by.
     admission: Optional["AdmissionStats"] = None
+    #: Per-storage-server counter snapshot (requests/bytes/writes,
+    #: utilization, top-k record heat), taken at report time — see
+    #: :meth:`repro.core.service.GraphService.server_stats`. Run-level
+    #: (cumulative), so :meth:`window` carries it unclipped, like
+    #: ``admission``. None for reports built before the snapshot existed.
+    per_server: Optional[List[Dict[str, object]]] = None
+    #: Dynamic-placement subsystem snapshot (migrations, replications,
+    #: ``migration_bytes``, active directory size) — None when the
+    #: subsystem is disabled. See
+    #: :meth:`repro.core.placement.PlacementManager.stats`.
+    placement: Optional[Dict[str, object]] = None
 
     # -- headline metrics ---------------------------------------------------
     def throughput(self) -> float:
@@ -334,13 +345,60 @@ class WorkloadReport:
     def total_bytes_fetched(self) -> int:
         return sum(r.stats.bytes_fetched for r in self.records)
 
+    # -- storage-side observability -------------------------------------------
+    def per_server_stats(self) -> List[Dict[str, object]]:
+        """Per-storage-server requests/bytes/utilization + top-k record
+        heat, snapshotted when the report was built (empty for reports
+        predating the snapshot — e.g. hand-constructed ones)."""
+        return list(self.per_server) if self.per_server else []
+
+    def storage_request_imbalance(self) -> float:
+        """max/mean storage-server requests served; 1.0 = balanced.
+
+        The storage-tier twin of :meth:`load_imbalance` — the signal
+        dynamic placement flattens on skewed workloads.
+        """
+        if not self.per_server:
+            return 0.0
+        counts = [s["requests_served"] for s in self.per_server]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+    def migration_bytes(self) -> int:
+        """Bytes the placement subsystem copied between servers (0 when
+        disabled). Itemized separately from query ``bytes_fetched`` and
+        update ``bytes_written`` — but *accounted* in the per-server
+        ``records_written``/``bytes_written`` counters, because the
+        copies really did occupy those write pipelines."""
+        if self.placement is None:
+            return 0
+        return int(self.placement.get("migration_bytes", 0))
+
     def summary(self) -> Dict[str, float]:
         """Flat dict for table printing and JSON artifacts.
 
         Open-loop serves (``admission`` present) add the SLO block:
-        offered/goodput, drop counters and time in overload.
+        offered/goodput, drop counters and time in overload. Reports
+        carrying a per-server snapshot add the storage-balance block;
+        placement-enabled runs itemize the subsystem's work.
         """
         summary = self._base_summary()
+        if self.per_server:
+            summary.update({
+                "storage_request_imbalance": self.storage_request_imbalance(),
+                "max_storage_utilization": max(
+                    s["utilization"] for s in self.per_server
+                ),
+            })
+        if self.placement is not None:
+            summary.update({
+                "migration_bytes": self.placement.get("migration_bytes", 0),
+                "migrations": self.placement.get("migrations", 0),
+                "replications": self.placement.get("replications", 0),
+                "active_placements": self.placement.get(
+                    "active_placements", 0
+                ),
+            })
         if self.admission is not None:
             summary.update({
                 "offered": self.admission.offered,

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...sim import Event
+from ...storage.placement import pick_read_replica
 from ...storage.server import StorageServerDown
 from ..metrics import QueryStats
 
@@ -154,20 +155,47 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
         stats.nodes_touched += len(nodes)
 
     if missed.size:
+        tier = processor.tier
+        if tier.heat is not None:
+            # Decayed access-frequency tracking for dynamic placement.
+            # Pure bookkeeping — no simulated time passes, so runs with
+            # heat tracking on but no directory exceptions stay
+            # bit-identical to runs without the subsystem.
+            tier.heat.touch(missed, env.now)
+        directory = tier.directory
+        overlay = (
+            directory.by_cache_key
+            if directory is not None and directory else None
+        )
         if missed.size == 1:
             # Walk steps and point probes miss one record at a time; skip
             # the per-server grouping machinery for the single fetch.
             node = missed[0]
             miss_sizes = sizes[node:node + 1]
             total_bytes = int(miss_sizes[0])
+            sid = int(processor.owner_of[node])
+            if overlay is not None:
+                entry = overlay.get(int(node))
+                if entry is not None:
+                    sid = pick_read_replica(entry.replicas, tier.servers)
             fetches = [
-                _ServerFetch(processor, int(processor.owner_of[node]), 1,
-                             total_bytes).completion
+                _ServerFetch(processor, sid, 1, total_bytes).completion
             ]
         else:
             owners = processor.owner_of[missed]
+            if overlay is not None:
+                # Read-any: migrated/replicated misses go to the
+                # least-loaded live replica instead of the hash owner.
+                owners = owners.copy()
+                servers = tier.servers
+                for pos, cache_key in enumerate(missed.tolist()):
+                    entry = overlay.get(cache_key)
+                    if entry is not None:
+                        owners[pos] = pick_read_replica(
+                            entry.replicas, servers
+                        )
             miss_sizes = sizes[missed]
-            num_servers = processor.tier.num_servers
+            num_servers = tier.num_servers
             counts = np.bincount(owners, minlength=num_servers)
             byte_sums = np.bincount(owners, weights=miss_sizes,
                                     minlength=num_servers)

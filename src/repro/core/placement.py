@@ -1,0 +1,331 @@
+"""Dynamic placement: periodic hot-record migration and replication.
+
+The storage-side primitives (``repro.storage.placement``) track decayed
+per-record heat and hold the exception-only directory; this module is the
+control loop that *uses* them. A :class:`PlacementManager` runs as a
+periodic simulation process inside a live :class:`~repro.core.service.GraphService`:
+
+1. every ``interval_s`` simulated seconds it snapshots decayed heats and
+   plans a bounded batch of moves — the top-k records above
+   ``heat_threshold``, within ``round_byte_budget`` copied bytes:
+
+   * records above ``replicate_threshold`` are **replicated** up to
+     ``replicas`` copies (read-any then splits their fetch load across
+     the least-loaded servers, and survives a replica's server failing);
+   * merely-hot records on an overloaded server are **migrated** to the
+     least-loaded server (hysteresis: only when the current holder's
+     recent load exceeds the target's by ``migrate_margin``);
+   * records whose heat decayed below ``release_fraction`` of the
+     threshold are **released** — extra copies dropped, migrated records
+     copied back home first — so the directory stays a small set of
+     true exceptions;
+
+2. the copies are executed *in simulated time* through the same storage
+   write pipelines queries fetch from (the PR 5 write path), so
+   rebalancing traffic queues behind — and delays — live queries. That
+   contention is the cost the fig_repartition ablation makes visible:
+   an over-aggressive configuration churns records faster than the
+   queries it helps;
+
+3. the directory flips at the simulated instant a move's copies have all
+   landed — reads routed before the flip still find the old copy (it is
+   deleted only after the flip), reads after it see the new placement.
+
+Everything is deterministic: heat is a pure function of served traffic,
+the load proxy is served-request deltas, ties break by server id, and the
+plan iterates in heat order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.placement import (
+    HeatTracker,
+    PlacementDirectory,
+    heat_by_server,
+)
+from ..storage.records import record_for_node
+from ..storage.server import StorageServerDown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .service import GraphService
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Knobs of the dynamic-placement control loop.
+
+    Defaults suit the benchmark graphs' simulated time scale (query
+    response times of tens of microseconds to milliseconds); the
+    repartition benchmark derives ``interval_s`` / ``half_life_s`` from
+    calibrated capacity so the loop means the same thing at smoke scale
+    and full scale.
+    """
+
+    #: Planning cadence in simulated seconds.
+    interval_s: float = 0.005
+    #: Heat decay half-life in simulated seconds.
+    half_life_s: float = 0.02
+    #: Decayed heat at which a record becomes a migration candidate.
+    heat_threshold: float = 3.0
+    #: Decayed heat at which a record is worth replicating.
+    replicate_threshold: float = 9.0
+    #: Target copy count for records above ``replicate_threshold``.
+    replicas: int = 2
+    #: Hottest records considered per round.
+    top_k: int = 64
+    #: Copied bytes allowed per round (migration + replication + restore).
+    round_byte_budget: int = 256 << 10
+    #: A migration needs the holder's recent load to exceed the target's
+    #: by this fraction — hysteresis against ping-ponging records.
+    migrate_margin: float = 0.25
+    #: Placements are released once heat falls below
+    #: ``heat_threshold * release_fraction`` (0 disables release).
+    release_fraction: float = 0.25
+
+
+class _Move:
+    """One planned placement change, executed as timed copies."""
+
+    __slots__ = ("kind", "key", "cache_key", "home", "size", "targets",
+                 "new_sids")
+
+    def __init__(self, kind: str, key: int, cache_key: int, home: int,
+                 size: int, targets: Tuple[int, ...],
+                 new_sids: Tuple[int, ...]) -> None:
+        self.kind = kind  # "migrate" | "replicate" | "restore" | "release"
+        self.key = key
+        self.cache_key = cache_key
+        self.home = home
+        self.size = size
+        self.targets = targets  # replica set after the move
+        self.new_sids = new_sids  # servers that need a fresh copy written
+
+
+class PlacementManager:
+    """Periodic planner/executor of hot-record migrations & replications."""
+
+    def __init__(self, service: "GraphService", config: PlacementConfig) -> None:
+        self.service = service
+        self.config = config
+        self.env = service.env
+        self.tier = service.tier
+        self.heat = HeatTracker(
+            half_life_s=config.half_life_s, size=service.assets.num_nodes
+        )
+        self.directory = PlacementDirectory()
+        self.tier.attach_placement(self.directory, self.heat)
+        self._last_served = np.zeros(self.tier.num_servers, dtype=np.float64)
+        self._process = None
+        # Cumulative counters (itemized in WorkloadReport summaries).
+        self.rounds = 0
+        self.migrations = 0
+        self.replications = 0
+        self.releases = 0
+        self.restores = 0
+        self.failed_moves = 0
+        self.migration_records = 0
+        self.migration_bytes = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError("placement manager already started")
+        self._process = self.env.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.config.interval_s)
+            moves = self.plan()
+            if moves:
+                yield from self._execute(moves)
+            self.rounds += 1
+
+    # -- planning -------------------------------------------------------------
+    def _served_delta(self) -> np.ndarray:
+        """Requests served per server since the previous round — the load
+        proxy migrations balance (deterministic, unlike instantaneous
+        queue depths sampled at one instant)."""
+        served = np.array(
+            [s.requests_served + s.writes_served for s in self.tier.servers],
+            dtype=np.float64,
+        )
+        delta = served - self._last_served
+        self._last_served = served
+        return delta
+
+    def plan(self) -> List[_Move]:
+        """One bounded round of moves, hottest records first."""
+        cfg = self.config
+        now = self.env.now
+        assets = self.service.assets
+        owner_of = assets.owner_array(self.tier.num_servers)
+        node_ids = assets.node_ids
+        sizes = assets.record_sizes
+        budget = cfg.round_byte_budget
+        load = self._served_delta()
+        moves: List[_Move] = []
+
+        hot_idx, heats = self.heat.top_k(cfg.top_k, now, cfg.heat_threshold)
+        for idx, heat in zip(hot_idx.tolist(), heats.tolist(), strict=True):
+            if idx >= node_ids.shape[0]:
+                continue  # heat array can outgrow a mid-update snapshot
+            key = int(node_ids[idx])
+            home = int(owner_of[idx])
+            size = int(sizes[idx])
+            entry = self.directory.by_key.get(key)
+            current = entry.replicas if entry is not None else (home,)
+            if heat >= cfg.replicate_threshold and len(current) < cfg.replicas:
+                want = min(cfg.replicas, self.tier.num_servers) - len(current)
+                order = np.argsort(load, kind="stable")
+                new = tuple(
+                    int(sid) for sid in order if int(sid) not in current
+                )[:want]
+                if new and budget >= size * len(new):
+                    budget -= size * len(new)
+                    share = heat / (len(current) + len(new))
+                    for sid in new:
+                        load[sid] += share
+                    moves.append(_Move(
+                        "replicate", key, idx, home, size,
+                        tuple(current) + new, new,
+                    ))
+            elif len(current) == 1:
+                holder = current[0]
+                best = int(np.argmin(load))
+                if (
+                    best != holder
+                    and budget >= size
+                    and load[holder] > (1.0 + cfg.migrate_margin) * load[best]
+                ):
+                    budget -= size
+                    load[best] += heat
+                    load[holder] -= min(heat, load[holder])
+                    moves.append(_Move(
+                        "migrate", key, idx, home, size, (best,), (best,),
+                    ))
+
+        if cfg.release_fraction > 0 and self.directory:
+            floor = cfg.heat_threshold * cfg.release_fraction
+            planned = {m.key for m in moves}
+            for entry in self.directory.entries():
+                if entry.key in planned:
+                    continue
+                if self.heat.heat_of(entry.cache_key, now) >= floor:
+                    continue
+                size = int(sizes[entry.cache_key])
+                if entry.home in entry.replicas:
+                    # Extra copies only: dropping them costs no write.
+                    moves.append(_Move(
+                        "release", entry.key, entry.cache_key, entry.home,
+                        size, (entry.home,), (),
+                    ))
+                elif budget >= size:
+                    # Migrated away: copy back home, then drop the entry.
+                    budget -= size
+                    moves.append(_Move(
+                        "restore", entry.key, entry.cache_key, entry.home,
+                        size, (entry.home,), (entry.home,),
+                    ))
+        return moves
+
+    # -- execution ------------------------------------------------------------
+    def _execute(self, moves: List[_Move]):
+        """Write the moves' copies through the storage pipelines (timed),
+        then flip the directory at the landing instant."""
+        service = self.service
+        materialize = service.config.materialize_storage
+        network = service.config.costs.network
+        graph = service.assets.graph
+
+        legs: Dict[int, List[Tuple[int, Optional[bytes]]]] = {}
+        leg_bytes: Dict[int, int] = {}
+        for move in moves:
+            if not move.new_sids:
+                continue
+            payload = (
+                record_for_node(graph, move.key).encode()
+                if materialize else None
+            )
+            for sid in move.new_sids:
+                legs.setdefault(sid, []).append((move.key, payload))
+                leg_bytes[sid] = leg_bytes.get(sid, 0) + move.size
+        failed: set = set()
+        pending = [
+            (sid, self.env.process(self.tier._server_write_process(
+                self.tier.servers[sid], entries, leg_bytes[sid], network,
+            )))
+            for sid, entries in legs.items()
+        ]
+        for sid, process in pending:
+            try:
+                yield process
+            except StorageServerDown:
+                failed.add(sid)
+
+        # The copies that reached live servers have landed *now*; flip the
+        # directory at this simulated instant and only then delete stale
+        # copies, so no read ever routes to a server lacking the record.
+        for move in moves:
+            if any(sid in failed for sid in move.new_sids):
+                self.failed_moves += 1
+                continue
+            copied = move.size * len(move.new_sids)
+            self.migration_bytes += copied
+            self.migration_records += len(move.new_sids)
+            previous = self.tier.replica_sids(move.key)
+            if move.kind in ("migrate", "replicate"):
+                self.directory.place(
+                    move.key, move.cache_key, move.home, move.targets
+                )
+                if move.kind == "migrate":
+                    self.migrations += 1
+                else:
+                    self.replications += 1
+            else:  # release / restore: back to the hash home
+                self.directory.drop(move.key)
+                if move.kind == "restore":
+                    self.restores += 1
+                else:
+                    self.releases += 1
+            if materialize:
+                for sid in set(previous) - set(move.targets):
+                    store = self.tier.servers[sid].store
+                    if move.key in store:
+                        store.delete(move.key)
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the placement subsystem for reports/artifacts."""
+        return {
+            "rounds": self.rounds,
+            "migrations": self.migrations,
+            "replications": self.replications,
+            "releases": self.releases,
+            "restores": self.restores,
+            "failed_moves": self.failed_moves,
+            "migration_records": self.migration_records,
+            "migration_bytes": self.migration_bytes,
+            "active_placements": len(self.directory),
+            "replicated_keys": self.directory.replicated_keys(),
+            "migrated_keys": self.directory.migrated_keys(),
+            "heat_touches": self.heat.touches,
+        }
+
+    def top_heat_by_server(self, k: int = 5) -> List[List[Tuple[int, float]]]:
+        """Top-k hottest records per server (see
+        :func:`repro.storage.placement.heat_by_server`)."""
+        assets = self.service.assets
+        return heat_by_server(
+            self.heat,
+            self.directory,
+            assets.owner_array(self.tier.num_servers),
+            assets.node_ids,
+            self.tier.num_servers,
+            self.env.now,
+            k=k,
+        )

@@ -55,6 +55,7 @@ from ..storage.tier import StorageTier
 from .admission import AdmissionConfig, AdmissionController, AdmissionStats
 from .assets import GraphAssets
 from .metrics import QueryRecord, WorkloadReport
+from .placement import PlacementConfig, PlacementManager
 
 if TYPE_CHECKING:  # annotation only: workloads imports core, not vice versa
     from ..workloads.open_loop import Arrival
@@ -79,7 +80,7 @@ ROUTING_CHOICES = (
 #: changed by a live ``set_routing`` — altering them means a new service.
 STRUCTURAL_FIELDS = frozenset({
     "num_processors", "num_storage_servers", "cache_capacity_bytes",
-    "cache_policy", "costs", "steal", "materialize_storage",
+    "cache_policy", "costs", "steal", "materialize_storage", "placement",
 })
 
 
@@ -122,6 +123,12 @@ class ClusterConfig:
     #: applied updates (None = manual: staleness accumulates until
     #: ``refresh_routing()`` is called). See :mod:`repro.core.updates`.
     update_refresh_interval: Optional[int] = None
+    # -- dynamic-placement knobs -----------------------------------------------
+    #: Enable the dynamic-placement subsystem (heat tracking + periodic
+    #: hot-record migration/replication — see :mod:`repro.core.placement`).
+    #: None (the default) builds none of it: the storage tier behaves
+    #: exactly as plain MurmurHash partitioning, bit-for-bit.
+    placement: Optional[PlacementConfig] = None
 
     def with_routing(self, routing: str) -> "ClusterConfig":
         return replace(self, routing=routing)
@@ -192,6 +199,14 @@ class GraphService:
         for processor in self.processors:
             processor.start(self.router)
         self.updates = LiveUpdateManager(self, self._stale)
+        # Dynamic placement: heat tracking + periodic migration/replication.
+        # Constructed (and its periodic process started) only when the
+        # config opts in — a None config leaves the tier's directory/heat
+        # hooks None, i.e. the exact pre-placement behaviour.
+        self.placement: Optional[PlacementManager] = None
+        if self.config.placement is not None:
+            self.placement = PlacementManager(self, self.config.placement)
+            self.placement.start()
         self._active_session: Optional["QuerySession"] = None
         self._closed = False
 
@@ -428,6 +443,39 @@ class GraphService:
 
     def storage_utilizations(self) -> List[float]:
         return [s.utilization(self.env.now) for s in self.tier.servers]
+
+    def server_stats(self, top_heat: int = 5) -> List[dict]:
+        """Per-storage-server counters + top-k record heat (one dict per
+        server, cumulative over the service lifetime).
+
+        This is what makes placement decisions explainable from any
+        run's report: which servers served/wrote how much, how busy
+        their pipelines were, and — when the placement subsystem is on —
+        which records are currently hottest on each. Heat pairs are
+        ``(node_id, decayed_heat)``; the list is empty when placement is
+        disabled.
+        """
+        elapsed = self.env.now
+        heat = (
+            self.placement.top_heat_by_server(top_heat)
+            if self.placement is not None
+            else [[] for _ in self.tier.servers]
+        )
+        return [
+            {
+                "server": server.server_id,
+                "requests_served": server.requests_served,
+                "keys_served": server.keys_served,
+                "bytes_served": server.bytes_served,
+                "writes_served": server.writes_served,
+                "records_written": server.records_written,
+                "bytes_written": server.bytes_written,
+                "records_held": len(server.store),
+                "utilization": server.utilization(elapsed),
+                "top_heat": heat[server.server_id],
+            }
+            for server in self.tier.servers
+        ]
 
 
 class QuerySession:
@@ -742,6 +790,7 @@ class QuerySession:
             (r.finished_at for r in records), default=self.started_at
         )
         config = self.service.config
+        placement = self.service.placement
         report = WorkloadReport(
             records=records,
             makespan=ended_at - self.started_at,
@@ -752,6 +801,10 @@ class QuerySession:
             # (the latest serve's — one serve per session is the intended
             # shape). Enables the per-tenant / goodput SLO metrics.
             admission=self._admission_stats,
+            # Per-server observability + placement itemization, snapshotted
+            # at report time (cumulative over the service lifetime).
+            per_server=self.service.server_stats(),
+            placement=placement.stats() if placement is not None else None,
         )
         if since is not None or until is not None:
             t0 = self.started_at if since is None else since

@@ -184,6 +184,10 @@ class LiveUpdateManager:
         records, nbytes, write_error = yield from service.tier.multiput_process(
             items, network=service.config.costs.network
         )
+        if service.tier.heat is not None:
+            # Writes are accesses too: updated records heat up, so churny
+            # regions become placement candidates like read-hot ones.
+            service.tier.heat.touch(dirty_idx, service.env.now)
         invalidated = 0
         for processor in service.processors:
             if processor.use_cache:

@@ -2,21 +2,33 @@
 
 from .kvstore import KVStoreError, LogStructuredStore
 from .murmur import hash_node_id, murmur3_32
+from .placement import (
+    HeatTracker,
+    Placement,
+    PlacementDirectory,
+    heat_by_server,
+    pick_read_replica,
+)
 from .records import AdjacencyRecord, graph_to_records, record_for_node
 from .server import StorageServer, StorageServerDown
 from .tier import StorageTier, modulo_partitioner, murmur_partitioner
 
 __all__ = [
     "AdjacencyRecord",
+    "HeatTracker",
     "KVStoreError",
     "LogStructuredStore",
+    "Placement",
+    "PlacementDirectory",
     "StorageServer",
     "StorageServerDown",
     "StorageTier",
     "graph_to_records",
     "hash_node_id",
+    "heat_by_server",
     "modulo_partitioner",
     "murmur3_32",
     "murmur_partitioner",
+    "pick_read_replica",
     "record_for_node",
 ]

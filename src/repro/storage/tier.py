@@ -13,6 +13,7 @@ from ..costs import NetworkModel, StorageServiceModel
 from ..graph.digraph import Graph
 from ..sim import Environment
 from .murmur import hash_node_id
+from .placement import HeatTracker, PlacementDirectory, pick_read_replica
 from .records import AdjacencyRecord, graph_to_records
 from .server import StorageServer, StorageServerDown
 
@@ -60,14 +61,41 @@ class StorageTier:
             )
             for i in range(num_servers)
         ]
+        # Dynamic-placement overlay (see repro.storage.placement). Both stay
+        # None unless a PlacementManager attaches them; every consumer
+        # guards on that, so the default tier is exactly the pre-placement
+        # tier. An *empty* attached directory is equally zero-cost: lookups
+        # guard on truthiness before consulting the overlay.
+        self.directory: Optional[PlacementDirectory] = None
+        self.heat: Optional[HeatTracker] = None
 
     @property
     def num_servers(self) -> int:
         return len(self.servers)
 
+    def attach_placement(
+        self, directory: PlacementDirectory, heat: HeatTracker
+    ) -> None:
+        """Install the dynamic-placement overlay (one per tier)."""
+        self.directory = directory
+        self.heat = heat
+
     def locate(self, key: int) -> StorageServer:
-        """The server owning ``key``."""
+        """The server owning ``key`` (read-any across directory replicas)."""
+        if self.directory is not None and self.directory:
+            entry = self.directory.by_key.get(key)
+            if entry is not None:
+                return self.servers[
+                    pick_read_replica(entry.replicas, self.servers)
+                ]
         return self.servers[self.partitioner(key, self.num_servers)]
+
+    def replica_sids(self, key: int) -> Tuple[int, ...]:
+        """Every server currently holding ``key`` (write-all targets)."""
+        home = self.partitioner(key, self.num_servers)
+        if self.directory is not None and self.directory:
+            return self.directory.replicas_for(key, home)
+        return (home,)
 
     def load_graph(self, graph: Graph) -> int:
         """Bulk-load every adjacency record; returns total bytes stored.
@@ -83,13 +111,32 @@ class StorageTier:
         return total
 
     def store_record(self, record: AdjacencyRecord) -> None:
-        """Untimed single-record upsert (used by graph-update handling)."""
-        self.locate(record.node_id).load(record.node_id, record.encode())
+        """Untimed single-record upsert (used by graph-update handling).
+
+        Write-all: a record with directory replicas is upserted on every
+        replica, so read-any stays coherent.
+        """
+        payload = record.encode()
+        for sid in self.replica_sids(record.node_id):
+            self.servers[sid].load(record.node_id, payload)
 
     def partition_plan(self, keys: Iterable[int]) -> Dict[int, List[int]]:
-        """Group ``keys`` by owning server id."""
+        """Group ``keys`` by the server a read should go to.
+
+        With an empty (or absent) directory this is exactly the hash
+        partition; directory exceptions route read-any to the
+        least-loaded live replica at this simulated instant.
+        """
+        directory = self.directory
+        overlay = directory.by_key if directory is not None and directory else None
         plan: Dict[int, List[int]] = {}
         for key in keys:
+            if overlay is not None:
+                entry = overlay.get(key)
+                if entry is not None:
+                    sid = pick_read_replica(entry.replicas, self.servers)
+                    plan.setdefault(sid, []).append(key)
+                    continue
             plan.setdefault(self.partitioner(key, self.num_servers), []).append(key)
         return plan
 
@@ -155,31 +202,66 @@ class StorageTier:
         :class:`StorageServerDown` (or ``None``) instead of raising — the
         caller decides how a partial write surfaces, with accurate
         counters in hand either way.
+
+        Directory replicas get **write-all-or-invalidate** semantics:
+        a replicated key is written on every replica server, and a
+        replica whose leg failed is *dropped from the directory* at the
+        simulated instant the failure is known (the surviving replicas
+        stay coherent, so read-any remains sound). ``error`` then
+        reports only keys that landed on **no** server — with an empty
+        directory every key lives on exactly one leg, so this reduces to
+        the historical any-leg-failed behaviour bit-for-bit.
         """
+        directory = self.directory
+        replicated = directory is not None and bool(directory)
         plan: Dict[int, List[Tuple[int, Optional[bytes]]]] = {}
         sizes: Dict[int, int] = {}
         for key, size, payload in items:
-            sid = self.partitioner(key, self.num_servers)
-            plan.setdefault(sid, []).append((key, payload))
-            sizes[sid] = sizes.get(sid, 0) + size
+            if replicated:
+                sids = directory.replicas_for(
+                    key, self.partitioner(key, self.num_servers)
+                )
+            else:
+                sids = (self.partitioner(key, self.num_servers),)
+            for sid in sids:
+                plan.setdefault(sid, []).append((key, payload))
+                sizes[sid] = sizes.get(sid, 0) + size
         pending = [
-            self.env.process(self._server_write_process(
+            (sid, self.env.process(self._server_write_process(
                 self.servers[sid], entries, sizes[sid], network,
-            ))
+            )))
             for sid, entries in plan.items()
         ]
         total_records = 0
         total_bytes = 0
         error: Optional[StorageServerDown] = None
-        for process in pending:
+        failed_sids: List[int] = []
+        for sid, process in pending:
             try:
                 records, nbytes = yield process
             except StorageServerDown as down:
                 if error is None:
                     error = down
+                failed_sids.append(sid)
             else:
                 total_records += records
                 total_bytes += nbytes
+        if failed_sids and replicated:
+            # Coverage check: a key is lost only if *every* holder failed.
+            failed = set(failed_sids)
+            any_lost = False
+            for sid in failed_sids:
+                for key, _payload in plan[sid]:
+                    holders = directory.replicas_for(
+                        key, self.partitioner(key, self.num_servers)
+                    )
+                    if all(h in failed for h in holders):
+                        any_lost = True
+                    else:
+                        # Invalidate the failed copy; survivors carry on.
+                        directory.drop_replica(key, sid)
+            if not any_lost:
+                error = None
         return total_records, total_bytes, error
 
     def total_live_bytes(self) -> int:

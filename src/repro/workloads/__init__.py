@@ -29,6 +29,8 @@ from .hotspot import (
     hotspot_stream,
     hotspot_workload,
     interleave,
+    shifting_hotspot_stream,
+    shifting_hotspot_workload,
     uniform_stream,
     uniform_workload,
     zipfian_stream,
@@ -62,6 +64,8 @@ __all__ = [
     "ppr_workload",
     "sample_stream",
     "sample_workload",
+    "shifting_hotspot_stream",
+    "shifting_hotspot_workload",
     "uniform_stream",
     "uniform_workload",
     "zipfian_stream",

@@ -235,6 +235,110 @@ def zipfian_workload(
     ))
 
 
+def shifting_hotspot_stream(
+    graph: Graph,
+    num_phases: int = 8,
+    queries_per_phase: int = 120,
+    radius: int = 2,
+    hops: int = 2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    hot_fraction: float = 0.9,
+    skew: float = 1.1,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> Iterator[Query]:
+    """Stream a *shifting*-hotspot workload: one hot ball that relocates.
+
+    The dynamic-placement benchmark's traffic shape: in each of
+    ``num_phases`` phases a fresh center is drawn and ``hot_fraction`` of
+    that phase's queries anchor inside its ``radius``-hop ball (the rest
+    are uniform background noise). Within the ball, anchors follow a
+    power law with exponent ``skew`` over a fixed per-phase ranking, so a
+    few records in the current ball carry most of the load — skewed
+    enough that hash partitioning leaves some storage server holding a
+    disproportionate share of the *hot* records, and shifting often
+    enough that no static placement (or static routing table) stays
+    right for long. ``skew=0`` anchors uniformly in the ball.
+
+    Determinism contract (same as :func:`repro.workloads.churn_stream`):
+    generation reads only the initial graph/CSR snapshot and the seeded
+    RNG — never live cluster state — so every scheme/service replays an
+    identical stream and comparisons measure the cluster, not workload
+    drift.
+    """
+    if num_phases < 1 or queries_per_phase < 1:
+        raise ValueError("phase counts must be positive")
+    if radius < 0 or hops < 1:
+        raise ValueError("radius must be >= 0 and hops >= 1")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    _validate_mix(mix)
+    csr = _bidirected_csr(graph, csr)
+    degrees = csr.degrees()
+    eligible = np.flatnonzero(degrees > 0)
+    if eligible.size == 0:
+        raise ValueError("graph has no connected nodes to query")
+    eligible_ids = csr.node_ids[eligible]
+
+    ids = current_query_id_allocator()
+
+    def generate() -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        count = 0
+        for _phase in range(num_phases):
+            center = int(eligible[rng.integers(0, eligible.size)])
+            dist = csr.bfs_distances([center], max_hops=radius)
+            ball_idx = np.flatnonzero(dist >= 0)  # includes the center
+            ball_ids = csr.node_ids[rng.permutation(ball_idx)]
+            weights = (1.0 + np.arange(ball_ids.size)) ** -skew
+            cumulative = np.cumsum(weights / weights.sum())
+            for _ in range(queries_per_phase):
+                if rng.random() < hot_fraction:
+                    rank = int(np.searchsorted(cumulative, rng.random()))
+                    node = int(ball_ids[min(rank, ball_ids.size - 1)])
+                    ball = ball_ids
+                else:
+                    node = int(
+                        eligible_ids[rng.integers(0, eligible_ids.size)]
+                    )
+                    ball = eligible_ids
+                kind = mix[count % len(mix)]
+                count += 1
+                yield _make_query(kind, node, hops, ball, rng,
+                                  ids.allocate())
+
+    return generate()
+
+
+def shifting_hotspot_workload(
+    graph: Graph,
+    num_phases: int = 8,
+    queries_per_phase: int = 120,
+    radius: int = 2,
+    hops: int = 2,
+    mix: Sequence[str] = DEFAULT_MIX,
+    hot_fraction: float = 0.9,
+    skew: float = 1.1,
+    seed: int = 0,
+    csr: Optional[CSRGraph] = None,
+) -> List[Query]:
+    """Materialised :func:`shifting_hotspot_stream`."""
+    return list(shifting_hotspot_stream(
+        graph,
+        num_phases=num_phases,
+        queries_per_phase=queries_per_phase,
+        radius=radius,
+        hops=hops,
+        mix=mix,
+        hot_fraction=hot_fraction,
+        skew=skew,
+        seed=seed,
+        csr=csr,
+    ))
+
+
 def interleave(
     streams: Sequence[Iterable[Query]], seed: int = 0
 ) -> Iterator[Query]:
