@@ -1,0 +1,43 @@
+"""Static determinism & simulation-invariant linter (``python -m repro.analysis``).
+
+Every headline claim in this reproduction rests on invariants that used to
+be enforced only by convention: workload streams replay bit-identically
+across schemes, storage/cache mutation flows through timed ``*_process``
+pipelines in simulated time, and the hot-path kernel has sharp contracts
+(``__slots__`` everywhere, single-waiter pooled timeouts, Event-only
+yields, insertion-order tie-breaking). This package machine-checks them:
+
+* :mod:`repro.analysis.determinism` — **D** rules: no wall-clock reads, no
+  global RNG state, no set-order-dependent iteration, no ``id()`` keys.
+* :mod:`repro.analysis.kernel` — **K** rules: ``__slots__`` contracts,
+  pooled bare-timeout retention, Event-only process yields.
+* :mod:`repro.analysis.simtime` — **S** rules: mutation only inside timed
+  pipelines, benchmark artifacts only through ``emit()``.
+
+Violations carry a rule code and can be waived inline with a reason::
+
+    risky_call()  # repro: allow D101 — setup-only wall clock, not simulated
+
+Run ``python -m repro.analysis --list-rules`` for the catalogue, and see
+:mod:`repro.analysis.sanitize` for the runtime counterpart
+(``REPRO_SANITIZE=1``).
+"""
+
+from .diagnostics import Diagnostic, Waiver, parse_waivers
+from .engine import AnalysisReport, analyze_paths, analyze_source, render_json, render_text
+from .registry import RULES, Rule, all_rules, get_rule
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "RULES",
+    "Rule",
+    "Waiver",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "parse_waivers",
+    "render_json",
+    "render_text",
+]

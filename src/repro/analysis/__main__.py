@@ -1,0 +1,63 @@
+"""CLI: ``python -m repro.analysis [paths] [--strict] [--format json]``.
+
+Exit status 0 when every violation is waived (and, under ``--strict``,
+no waiver is stale); 1 otherwise. ``--format json`` emits the
+machine-readable report nightly CI archives (validate saved reports with
+``python -m repro.analysis.validate <file>``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .engine import analyze_paths, render_json, render_text
+from .registry import all_rules
+
+#: What the linter covers when no path is given: the package sources.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & simulation-invariant linter for the "
+                    "repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to analyze (default: src/repro)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on unused (stale) waivers")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the nightly trend artifact)")
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="include waived violations in text output")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<26} {rule.summary}")
+        return 0
+    report = analyze_paths([Path(p) for p in args.paths])
+    if args.format == "json":
+        print(render_json(report, strict=args.strict))
+    else:
+        print(render_text(report, strict=args.strict,
+                          show_waived=args.show_waived))
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""D rules — determinism.
+
+Simulated results must be a pure function of (program, seeds). Anything
+that reads the wall clock, global RNG state, or CPython implementation
+details (set iteration order, object addresses) can silently break the
+bit-identical replay contract that every benchmark comparison rests on.
+
+Codes
+-----
+D101
+    wall-clock read outside ``bench/`` (``time.time``, ``perf_counter``,
+    ``datetime.now``, ...). Benchmarks may measure wall clock for artifact
+    *metadata*; simulation code never may.
+D102
+    module-level RNG call (``random.random()``, ``np.random.rand()``, ...)
+    — global RNG state makes replay depend on call order across the whole
+    process. Thread seeded ``np.random.default_rng``/``random.Random``
+    generator objects explicitly instead.
+D103
+    iteration over a ``set``/``frozenset`` in an order-sensitive package
+    (``sim``, ``core``, ``storage``, ``workloads``): set order is a hash
+    implementation detail; wrap in ``sorted(...)`` before any use whose
+    order can reach event scheduling.
+D104
+    ``id()`` used as a value — object addresses vary run to run, so they
+    must never feed keys, sort orders, or anything result-visible.
+D105
+    ``dict.popitem()`` without ``last=`` — "pop an arbitrary item" reads
+    as nondeterministic; use ``popitem(last=False)`` / ``last=True`` on an
+    ``OrderedDict`` to make the intended order explicit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from .registry import Finding, ModuleContext, rule
+
+#: Canonical wall-clock reading callables (D101).
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "time.localtime", "time.gmtime", "time.ctime", "time.asctime",
+    "time.strftime",
+})
+
+#: ``datetime``-flavoured wall-clock constructors: matched by the final
+#: two segments so ``datetime.datetime.now`` and an aliased
+#: ``datetime.now`` both hit.
+DATETIME_TAILS = frozenset({
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: ``random`` module functions that touch the hidden global Random (D102).
+#: ``random.Random(seed)`` — constructing an explicit generator — is fine.
+RANDOM_GLOBAL = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+    "getrandbits", "randbytes", "binomialvariate",
+})
+
+#: ``numpy.random`` attributes that do NOT touch the legacy global state:
+#: generator/bit-generator constructors and seeding machinery.
+NUMPY_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+})
+
+#: Callables whose output does not depend on argument iteration order —
+#: a set flowing straight into one of these is harmless (D103).
+ORDER_INSENSITIVE_SINKS = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "len", "any",
+    "all",
+})
+
+#: Packages whose iteration order can reach event scheduling (D103):
+#: the kernel itself, the serving stack, storage, and the workload
+#: generators whose streams must replay bit-identically.
+ORDER_SENSITIVE_PACKAGES = ("sim", "core", "storage", "workloads")
+
+
+@rule("D101", "wall-clock-read",
+      "wall-clock read outside bench/ metadata emission")
+def check_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.in_package("bench"):
+        # Benchmarks measure wall clock for artifact metadata; that is
+        # the one sanctioned use (simulated rows stay deterministic).
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.resolve_call(node.func)
+        if not name:
+            continue
+        tail = tuple(name.split(".")[-2:])
+        if name in WALL_CLOCK or (len(tail) == 2 and tail in DATETIME_TAILS):
+            yield (node.lineno, node.col_offset,
+                   f"wall-clock read `{name}()` in simulation code; "
+                   "simulated results must not depend on real time "
+                   "(only bench/ may measure wall clock, for metadata)")
+
+
+@rule("D102", "global-rng",
+      "module-level RNG call (unseeded global random state)")
+def check_global_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.resolve_call(node.func)
+        if not name:
+            continue
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2 \
+                and parts[1] in RANDOM_GLOBAL:
+            yield (node.lineno, node.col_offset,
+                   f"`{name}()` uses the process-global RNG; thread an "
+                   "explicit seeded `random.Random(seed)` instead")
+        elif len(parts) >= 3 and parts[0] == "numpy" \
+                and parts[1] == "random" and parts[2] not in NUMPY_RANDOM_OK:
+            yield (node.lineno, node.col_offset,
+                   f"`{name}()` uses numpy's legacy global RNG; thread an "
+                   "explicit `np.random.default_rng(seed)` Generator "
+                   "instead")
+
+
+def _set_typed_locals(func: ast.AST) -> Set[str]:
+    """Local names statically known to hold a set in ``func``'s body."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            if _is_set_expr(node.value, names):
+                names.add(node.targets[0].id)
+            else:
+                names.discard(node.targets[0].id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = ast.unparse(node.annotation).replace(" ", "")
+            if annotation.lower().startswith(("set", "frozenset",
+                                              "typing.set", "typing.frozenset",
+                                              "abstractset",
+                                              "typing.abstractset")):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST, set_vars: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_vars:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left, set_vars) or \
+            _is_set_expr(node.right, set_vars)
+    return False
+
+
+def _order_insensitive_consumer(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True when the iteration feeds only an order-insensitive sink.
+
+    Covers ``sorted(x for x in some_set)`` (the comprehension is the sole
+    argument of a sink call) and set-producing comprehensions.
+    """
+    comp = None
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            comp = ancestor
+            break
+        if isinstance(ancestor, ast.stmt):
+            break
+    if comp is None:
+        return False
+    if isinstance(comp, ast.SetComp):
+        return True  # produces a set: no order leaks out of it
+    parent = ctx.parent(comp)
+    return (isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INSENSITIVE_SINKS)
+
+
+@rule("D103", "set-iteration",
+      "iteration over a set in an order-sensitive package")
+def check_set_iteration(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.in_package(*ORDER_SENSITIVE_PACKAGES):
+        return
+    # Per-scope set-typed name tracking: module scope plus each function.
+    # repro: allow D104 — AST-node identity key, lookup only
+    scopes: Dict[int, Set[str]] = {id(ctx.tree): _set_typed_locals(ctx.tree)}
+
+    def set_vars_for(node: ast.AST) -> Set[str]:
+        func = ctx.enclosing_function(node)
+        scope = func if func is not None else ctx.tree
+        key = id(scope)  # repro: allow D104 — AST-node identity key, lookup only
+        if key not in scopes:
+            scopes[key] = _set_typed_locals(scope)
+        return scopes[key]
+
+    def flag(iter_node: ast.AST, where: str) -> Iterator[Finding]:
+        yield (iter_node.lineno, iter_node.col_offset,
+               f"iteration over a set {where}: set order is a hash-table "
+               "implementation detail; wrap in sorted(...) (or waive if "
+               "provably order-insensitive)")
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter, set_vars_for(node)):
+                yield from flag(node.iter, "in a for loop")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                if _is_set_expr(comp.iter, set_vars_for(node)) and \
+                        not _order_insensitive_consumer(ctx, comp.iter):
+                    yield from flag(comp.iter, "in a comprehension")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("list", "tuple") and node.args:
+            if _is_set_expr(node.args[0], set_vars_for(node)):
+                yield from flag(node, f"materialized via {node.func.id}()")
+
+
+@rule("D104", "id-as-key",
+      "id() used as a value (object addresses vary across runs)")
+def check_id_usage(ctx: ModuleContext) -> Iterator[Finding]:
+    shadowed = "id" in ctx.aliases
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "id" and not shadowed:
+            yield (node.lineno, node.col_offset,
+                   "id() yields a memory address — it varies run to run "
+                   "and must never feed sort keys, hashes, or "
+                   "result-visible state")
+
+
+@rule("D105", "popitem-arbitrary",
+      "dict.popitem() without last= (arbitrary-item pop)")
+def check_popitem(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "popitem" \
+                and not node.args and not node.keywords:
+            yield (node.lineno, node.col_offset,
+                   "popitem() without last= pops an 'arbitrary' item; "
+                   "make the order explicit with "
+                   "OrderedDict.popitem(last=...)")
+
+
+__all__ = [name for name in dir() if name.startswith("check_")]

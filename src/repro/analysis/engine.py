@@ -1,0 +1,211 @@
+"""Analysis engine: file discovery, rule execution, waivers, rendering.
+
+The engine parses each module once, runs every registered rule over the
+shared :class:`~repro.analysis.registry.ModuleContext`, then applies the
+inline waivers from :mod:`repro.analysis.diagnostics`. Its JSON output is
+the machine-readable artifact nightly CI archives for lint trends (see
+:mod:`repro.analysis.validate`).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .diagnostics import Diagnostic, parse_waivers
+from .registry import RULES, ModuleContext, all_rules
+
+# Importing the rule modules registers their checks.
+from . import determinism, kernel, simtime  # noqa: F401  (registration side effect)
+
+#: Schema version of the JSON report; bump when keys change shape.
+REPORT_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_analyzed: int = 0
+    #: (path, line, text) of waiver comments that parsed but missed the
+    #: mandatory reason — always an error.
+    malformed_waivers: List[Dict[str, object]] = field(default_factory=list)
+    #: waivers that matched no diagnostic (path, line, code, reason) —
+    #: stale waivers are an error under --strict so they cannot mask a
+    #: future violation at a different line.
+    unused_waivers: List[Dict[str, object]] = field(default_factory=list)
+    #: parse failures (path, error).
+    errors: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def unwaived(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.waived]
+
+    @property
+    def waived(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.waived]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.unwaived or self.errors or self.malformed_waivers:
+            return False
+        if strict and self.unused_waivers:
+            return False
+        return True
+
+    def as_dict(self, strict: bool = False) -> Dict[str, object]:
+        return {
+            "title": "repro.analysis report",
+            "version": REPORT_VERSION,
+            "strict": strict,
+            "ok": self.ok(strict),
+            "rules": {r.code: r.summary for r in all_rules()},
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "summary": {
+                "files_analyzed": self.files_analyzed,
+                "violations": len(self.diagnostics),
+                "waived": len(self.waived),
+                "unwaived": len(self.unwaived),
+                "per_rule": self.per_rule_counts(),
+            },
+            "malformed_waivers": self.malformed_waivers,
+            "unused_waivers": self.unused_waivers,
+            "errors": self.errors,
+        }
+
+    def per_rule_counts(self) -> Dict[str, Dict[str, int]]:
+        counts: Dict[str, Dict[str, int]] = {}
+        for diag in self.diagnostics:
+            entry = counts.setdefault(diag.code, {"waived": 0, "unwaived": 0})
+            entry["waived" if diag.waived else "unwaived"] += 1
+        return counts
+
+
+def _normalize_path(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def analyze_source(source: str, path: str,
+                   report: Optional[AnalysisReport] = None) -> List[Diagnostic]:
+    """Run every rule over one module's source text.
+
+    ``path`` is the repo-relative path the path-scoped rules dispatch on
+    (tests pass virtual paths like ``repro/sim/fixture.py`` to target a
+    package's rule set). Waivers are applied in place; unused ones are
+    recorded on ``report`` when given.
+    """
+    path = _normalize_path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        if report is not None:
+            report.errors.append({"path": path, "error": str(exc)})
+        return []
+    ctx = ModuleContext(path=path, tree=tree, source=source)
+    waivers = parse_waivers(source)
+
+    diagnostics: List[Diagnostic] = []
+    for rule in all_rules():
+        for line, col, message in rule.run(ctx):
+            diagnostics.append(Diagnostic(
+                code=rule.code, path=path, line=line, col=col,
+                message=message,
+            ))
+    diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+
+    used = set()
+    for diag in diagnostics:
+        waiver = waivers.lookup(diag.code, diag.line)
+        if waiver is not None:
+            diag.waived = True
+            diag.waiver_reason = waiver.reason
+            used.add((waiver.code, waiver.line, waiver.module_level))
+
+    if report is not None:
+        for line, text in waivers.malformed:
+            report.malformed_waivers.append(
+                {"path": path, "line": line, "text": text,
+                 "error": "waiver missing mandatory reason "
+                          "(`# repro: allow CODE — reason`)"})
+        for waiver in waivers.all_waivers():
+            if waiver.code not in RULES:
+                report.malformed_waivers.append(
+                    {"path": path, "line": waiver.line, "text": waiver.code,
+                     "error": f"waiver names unknown rule {waiver.code!r}"})
+            elif (waiver.code, waiver.line, waiver.module_level) not in used:
+                report.unused_waivers.append(
+                    {"path": path, "line": waiver.line, "code": waiver.code,
+                     "reason": waiver.reason})
+    return diagnostics
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(paths: Sequence[Path],
+                  root: Optional[Path] = None) -> AnalysisReport:
+    """Analyze every ``*.py`` under ``paths`` (files or directories)."""
+    report = AnalysisReport()
+    root = root or Path.cwd()
+    for file_path in iter_python_files(paths):
+        try:
+            rel = file_path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = file_path
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            report.errors.append({"path": str(rel), "error": str(exc)})
+            continue
+        report.diagnostics.extend(
+            analyze_source(source, str(rel), report=report))
+        report.files_analyzed += 1
+    return report
+
+
+# -- rendering ----------------------------------------------------------------
+def render_text(report: AnalysisReport, strict: bool = False,
+                show_waived: bool = False) -> str:
+    lines: List[str] = []
+    for error in report.errors:
+        lines.append(f"{error['path']}: PARSE ERROR {error['error']}")
+    for item in report.malformed_waivers:
+        lines.append(f"{item['path']}:{item['line']}: BAD WAIVER "
+                     f"{item['error']}")
+    for diag in report.diagnostics:
+        if diag.waived and not show_waived:
+            continue
+        lines.append(diag.render())
+    if strict:
+        for item in report.unused_waivers:
+            lines.append(f"{item['path']}:{item['line']}: UNUSED WAIVER "
+                         f"{item['code']} ({item['reason']})")
+    summary = (f"{report.files_analyzed} files, "
+               f"{len(report.diagnostics)} violations "
+               f"({len(report.unwaived)} unwaived, "
+               f"{len(report.waived)} waived)")
+    lines.append(("OK " if report.ok(strict) else "FAIL ") + summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, strict: bool = False) -> str:
+    return json.dumps(report.as_dict(strict), indent=2, sort_keys=True)
+
+
+__all__ = [
+    "AnalysisReport",
+    "REPORT_VERSION",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+]

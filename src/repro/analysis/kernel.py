@@ -1,0 +1,194 @@
+"""K rules — hot-path kernel contracts.
+
+The PR 4 kernel trades generality for speed, and each trade leaves a
+contract behind. These rules make the contracts machine-checked so the
+next hot-path rewrite (the batched/vectorized kernel on the ROADMAP)
+starts from invariants, not folklore.
+
+Codes
+-----
+K201
+    a class under ``sim/`` (or any Event subclass anywhere) without
+    ``__slots__`` — a single slotless class in an event-class hierarchy
+    silently re-grows ``__dict__`` for every instance on the hot path.
+K202
+    a *bare* ``env.timeout(delay)`` result bound to a name that is used
+    beyond a single immediate ``yield``: bare timeouts are recycled
+    through the environment's free list the moment the waiting process
+    advances, so retaining one past the next yield is a use-after-free.
+    Pass an explicit ``value=`` (unpooled) if the event must be retained.
+K203
+    a simulation process (``*_process`` generator or ``_run``) yielding
+    an expression that is statically not an Event (literal, tuple,
+    f-string, comparison, bare ``yield``): the kernel resumes processes
+    only through Events; anything else dies at runtime — catch it in
+    review instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from .registry import (
+    Finding,
+    ModuleContext,
+    dotted_name,
+    own_yields,
+    rule,
+)
+
+#: Final base-name segments that mark an event-class hierarchy.
+EVENT_BASES = frozenset({
+    "Event", "Timeout", "Process", "Condition", "AllOf", "AnyOf",
+    "Initialize", "Request",
+})
+
+#: Exception hierarchies are exempt from K201: BaseException has a dict
+#: anyway (args, traceback), so __slots__ buys nothing.
+_EXC_TAILS = ("Exception", "Error", "BaseException", "Warning")
+
+#: Function names treated as simulation processes for K203, beyond the
+#: ``*_process`` convention.
+PROCESS_NAMES = frozenset({"_run"})
+
+#: Yield-value node types that can possibly evaluate to an Event.
+_EVENTISH = (ast.Name, ast.Attribute, ast.Call, ast.Subscript, ast.IfExp,
+             ast.Await, ast.NamedExpr)
+
+
+def _is_event_subclass(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        parts = dotted_name(base)
+        if parts and parts[-1] in EVENT_BASES:
+            return True
+    return False
+
+
+def _is_exception_class(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        parts = dotted_name(base)
+        if parts and parts[-1].endswith(_EXC_TAILS):
+            return True
+    return False
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name) and \
+                stmt.target.id == "__slots__":
+            return True
+    return False
+
+
+@rule("K201", "missing-slots",
+      "class under sim/ (or Event subclass) without __slots__")
+def check_slots(ctx: ModuleContext) -> Iterator[Finding]:
+    in_sim = ctx.in_package("sim")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not (in_sim or _is_event_subclass(node)):
+            continue
+        if _is_exception_class(node):
+            continue
+        if not _declares_slots(node):
+            scope = "kernel class" if in_sim else "Event subclass"
+            yield (node.lineno, node.col_offset,
+                   f"{scope} `{node.name}` does not declare __slots__; "
+                   "a slotless class in the event hierarchy re-grows a "
+                   "per-instance __dict__ on the hot path")
+
+
+def _is_bare_timeout_call(node: ast.AST) -> bool:
+    """``<anything>.timeout(delay)`` with one positional arg, no value=."""
+    if not isinstance(node, ast.Call) or node.keywords or \
+            len(node.args) != 1:
+        return False
+    parts = dotted_name(node.func)
+    return bool(parts) and parts[-1] == "timeout"
+
+
+def _name_loads(func: ast.AST, name: str) -> List[ast.Name]:
+    return [n for n in ast.walk(func)
+            if isinstance(n, ast.Name) and n.id == name
+            and isinstance(n.ctx, ast.Load)]
+
+
+@rule("K202", "pooled-timeout-retained",
+      "bare env.timeout() result retained beyond a single yield")
+def check_timeout_retention(ctx: ModuleContext) -> Iterator[Finding]:
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yields = own_yields(func)
+        if not yields:
+            # Non-generators retain timeouts only in callback style, where
+            # pending callbacks already keep them out of the free list.
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_bare_timeout_call(node.value):
+                continue
+            if len(node.targets) != 1 or \
+                    not isinstance(node.targets[0], ast.Name):
+                # Tuple-unpacking / attribute / subscript targets all
+                # store the pooled event somewhere it can outlive the
+                # yield — flag unconditionally.
+                yield (node.lineno, node.col_offset,
+                       "bare env.timeout() stored into a structured "
+                       "target; pooled timeouts are recycled after the "
+                       "next yield — pass value= to opt out of pooling")
+                continue
+            name = node.targets[0].id
+            loads = [n for n in _name_loads(func, name)
+                     if (n.lineno, n.col_offset) >
+                        (node.lineno, node.col_offset)]
+            safe = (
+                len(loads) == 1
+                and isinstance(ctx.parent(loads[0]), ast.Yield)
+            )
+            if not safe:
+                yield (node.lineno, node.col_offset,
+                       f"bare env.timeout() bound to `{name}` is used "
+                       "beyond a single immediate yield; the event is "
+                       "recycled once the process advances (pass value= "
+                       "to opt out of pooling, or yield it inline)")
+
+
+def _is_process_function(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return func.name.endswith("_process") or func.name in PROCESS_NAMES
+
+
+@rule("K203", "non-event-yield",
+      "simulation process yields a statically-non-Event value")
+def check_process_yields(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.in_package("sim", "core", "storage"):
+        return
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_process_function(func):
+            continue
+        for node in own_yields(func):
+            if isinstance(node, ast.YieldFrom):
+                continue  # delegation: the inner generator is checked itself
+            value = node.value
+            if value is None:
+                yield (node.lineno, node.col_offset,
+                       "bare `yield` in a simulation process yields None, "
+                       "which the kernel rejects; yield an Event")
+            elif not isinstance(value, _EVENTISH):
+                yield (value.lineno, value.col_offset,
+                       f"process yields a {type(value).__name__}, which "
+                       "cannot be an Event; the kernel resumes processes "
+                       "only through Events")
+
+
+__all__ = ["check_slots", "check_timeout_retention", "check_process_yields"]

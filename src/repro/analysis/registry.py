@@ -1,0 +1,217 @@
+"""Rule registry and shared AST plumbing for the analyzer.
+
+A rule is a pure function over one parsed module: it receives a
+:class:`ModuleContext` (AST + parent links + import-alias table + path
+predicates) and yields ``(line, col, message)`` findings. Rules register
+themselves with :func:`rule`, which assigns the code every diagnostic,
+waiver, and CI log refers to.
+
+Rule codes are stable API: **D** = determinism, **K** = kernel contracts,
+**S** = simulated-time accounting. Renumbering a code silently orphans
+every waiver that names it, so codes are append-only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+Finding = Tuple[int, int, str]  # (line, col, message)
+
+
+# -- module context -----------------------------------------------------------
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one source module."""
+
+    path: str  # repo-relative, posix separators, e.g. "src/repro/sim/events.py"
+    tree: ast.Module
+    source: str
+    #: local name -> canonical dotted module/object it refers to
+    #: (``np`` -> ``numpy``, ``perf_counter`` -> ``time.perf_counter``).
+    aliases: Dict[str, str] = field(default_factory=dict)
+    _parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                # repro: allow D104 — AST-node identity key, lookup only
+                self._parents[id(child)] = node
+        self.aliases = _collect_aliases(self.tree)
+
+    # -- tree navigation ---------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        # repro: allow D104 — AST-node identity key, lookup only
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    # -- name resolution ---------------------------------------------------
+    def resolve_call(self, func: ast.AST) -> str:
+        """Canonical dotted name of a call target ("" if not name-shaped).
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when the
+        module imported ``numpy as np``; a bare ``perf_counter`` resolves
+        through ``from time import perf_counter``.
+        """
+        parts = dotted_name(func)
+        if not parts:
+            return ""
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+    # -- path predicates ---------------------------------------------------
+    def in_package(self, *segments: str) -> bool:
+        """True when the module lives under ``repro/<segment>/`` for any
+        given segment (or *is* ``repro/<segment>.py``)."""
+        for segment in segments:
+            if f"repro/{segment}/" in self.path or \
+                    self.path.endswith(f"repro/{segment}.py"):
+                return True
+        return False
+
+    def is_module(self, *names: str) -> bool:
+        return any(self.path.endswith(name) for name in names)
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+# -- AST helpers shared by rule modules ---------------------------------------
+def dotted_name(node: ast.AST) -> List[str]:
+    """``a.b.c`` attribute chain as a list (empty for non-name shapes)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def receiver_segments(node: ast.AST) -> List[str]:
+    """Name segments of a method-call receiver, skipping subscripts.
+
+    ``self.tier.servers[sid].store.delete`` -> ``["self", "tier",
+    "servers", "store", "delete"]``. Call results terminate the chain
+    (their type is unknowable statically).
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return parts[::-1]
+        else:
+            return parts[::-1]
+
+
+def is_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the function's own body contains yield / yield from
+    (yields inside nested defs/lambdas don't count)."""
+    return bool(own_yields(func))
+
+
+def own_yields(func: ast.FunctionDef | ast.AsyncFunctionDef) -> List[ast.AST]:
+    """Yield/YieldFrom nodes belonging to ``func`` itself (not nested defs)."""
+    found: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                found.append(child)
+            visit(child)
+
+    visit(func)
+    return found
+
+
+# -- registry ----------------------------------------------------------------
+Checker = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    checker: Checker
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self.checker(ctx)
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str) -> Callable[[Checker], Checker]:
+    """Register ``checker`` under ``code`` in the global rule registry."""
+
+    def decorate(checker: Checker) -> Checker:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, name=name, summary=summary,
+                           checker=checker)
+        return checker
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return RULES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {', '.join(sorted(RULES))}"
+        ) from None
+
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "get_rule",
+    "is_generator",
+    "own_yields",
+    "receiver_segments",
+    "rule",
+]

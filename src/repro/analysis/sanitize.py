@@ -1,0 +1,198 @@
+"""Runtime sanitizer: traps for invariants the static rules cannot prove.
+
+Armed by ``Environment(sanitize=True)`` or ``REPRO_SANITIZE=1`` (see
+:mod:`repro.sim.environment`), this module supplies the two pieces that
+need process-global cooperation:
+
+* :func:`install_rng_trap` / :func:`rng_trap` — while a sanitized
+  simulation runs, every module-level ``random.*`` / ``np.random.*``
+  call (the D102 rule's runtime twin) raises
+  :class:`UnseededRandomError` instead of silently consuming hidden
+  global state. Seeded ``random.Random`` / ``np.random.default_rng``
+  generator *instances* are untouched — threading those explicitly is
+  the sanctioned pattern.
+* :func:`audit_tie_sensitivity` — runs the same program under FIFO and
+  LIFO same-timestamp tie-breaking and diffs the result-visible state,
+  flagging programs whose results depend on insertion-order tie
+  resolution (the contract a batched/vectorized kernel must preserve).
+
+The reuse-after-free trap for pooled bare timeouts needs no code here:
+in sanitize mode the kernel *retires* bare timeouts instead of recycling
+them, so any retained reference deterministically trips the POOLED-state
+guards in :mod:`repro.sim.events`.
+"""
+
+from __future__ import annotations
+
+import random as _random_module
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..sim.events import SimulationError
+from .determinism import RANDOM_GLOBAL
+
+
+class UnseededRandomError(SimulationError):
+    """A module-level RNG call ran inside a sanitized simulation."""
+
+
+#: ``numpy.random`` module-level functions backed by the hidden legacy
+#: global RandomState (trapped); generator construction is not listed.
+NUMPY_GLOBAL = (
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "bytes", "shuffle", "permutation", "seed",
+    "uniform", "normal", "standard_normal", "poisson", "exponential",
+    "binomial", "beta", "gamma", "chisquare", "dirichlet", "geometric",
+    "gumbel", "hypergeometric", "laplace", "logistic", "lognormal",
+    "logseries", "multinomial", "multivariate_normal",
+    "negative_binomial", "pareto", "power", "rayleigh",
+    "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_t", "triangular", "vonmises", "wald", "weibull", "zipf",
+    "get_state", "set_state", "random_integers",
+)
+
+
+def _raiser(module: str, name: str) -> Callable[..., Any]:
+    def trap(*_args: Any, **_kwargs: Any) -> Any:
+        raise UnseededRandomError(
+            f"{module}.{name}() called during a sanitized simulation: "
+            "module-level RNG state breaks bit-identical replay; thread "
+            "an explicitly seeded generator "
+            "(random.Random(seed) / np.random.default_rng(seed)) instead"
+        )
+    trap.__name__ = f"_sanitize_trap_{name}"
+    return trap
+
+
+# (module object, attribute, original) for every patched callable.
+_saved: List[Tuple[Any, str, Any]] = []
+_installs = 0
+
+
+def install_rng_trap() -> None:
+    """Patch global-RNG entry points to raise; re-entrant (refcounted)."""
+    global _installs
+    _installs += 1
+    if _installs > 1:
+        return
+    for name in sorted(RANDOM_GLOBAL):
+        original = getattr(_random_module, name, None)
+        if callable(original):
+            _saved.append((_random_module, name, original))
+            setattr(_random_module, name, _raiser("random", name))
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - numpy is a hard dep here
+        return
+    for name in NUMPY_GLOBAL:
+        original = getattr(_np.random, name, None)
+        if callable(original):
+            _saved.append((_np.random, name, original))
+            setattr(_np.random, name, _raiser("np.random", name))
+
+
+def uninstall_rng_trap() -> None:
+    """Undo :func:`install_rng_trap` once the last installer exits."""
+    global _installs
+    if _installs == 0:
+        return
+    _installs -= 1
+    if _installs:
+        return
+    while _saved:
+        module, name, original = _saved.pop()
+        setattr(module, name, original)
+
+
+@contextmanager
+def rng_trap() -> Iterator[None]:
+    """Context-managed :func:`install_rng_trap` for tests and tools."""
+    install_rng_trap()
+    try:
+        yield
+    finally:
+        uninstall_rng_trap()
+
+
+# -- tie-order sensitivity audit ---------------------------------------------
+@dataclass
+class TieAuditResult:
+    """Outcome of a FIFO-vs-LIFO tie-break comparison run."""
+
+    sensitive: bool
+    fifo_result: Any = None
+    lifo_result: Any = None
+    #: tie-break order -> repr of the exception that run raised, if any.
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if not self.sensitive:
+            return "tie-order insensitive: fifo and lifo runs agree"
+        parts = ["tie-order SENSITIVE: results differ across same-"
+                 "timestamp dispatch orders"]
+        for order in ("fifo", "lifo"):
+            if order in self.errors:
+                parts.append(f"  {order}: raised {self.errors[order]}")
+        return "\n".join(parts)
+
+
+def audit_tie_sensitivity(
+    build: Callable[..., Callable[[], Any]],
+    until: Optional[Any] = None,
+) -> TieAuditResult:
+    """Run ``build`` under both tie-break orders and diff the results.
+
+    ``build(env)`` must set up the program on a fresh environment and
+    return a zero-argument extractor producing the result-visible state
+    to compare (timings, counters, outputs — anything a benchmark would
+    report). The audit runs the simulation (``env.run(until)``), calls
+    the extractor under each order, and flags any divergence — including
+    one order crashing where the other completes, which is equally a
+    dispatch-order dependence.
+
+    A sensitive program is not necessarily *wrong* today (the kernel's
+    insertion-order tie-breaking is deterministic), but its results hang
+    on a scheduling detail the planned batched kernel must then preserve
+    bit-for-bit; insensitive programs are refactor-proof.
+
+    Both runs execute with the sanitizer armed (sanitize never changes
+    simulated results), so unhandled process failures surface as errors
+    instead of rotting silently on their events.
+    """
+    from ..sim.environment import Environment
+
+    results: Dict[str, Any] = {}
+    errors: Dict[str, str] = {}
+    for order in ("fifo", "lifo"):
+        env = Environment(sanitize=True, tie_break=order)
+        extract = build(env)
+        if not callable(extract):
+            raise TypeError(
+                "build(env) must return a zero-argument extractor "
+                "callable producing the state to compare")
+        try:
+            env.run(until)
+            results[order] = extract()
+        except Exception as exc:  # one order crashing IS a divergence
+            errors[order] = repr(exc)
+            results[order] = None
+    sensitive = (errors.get("fifo") != errors.get("lifo")
+                 or results["fifo"] != results["lifo"])
+    return TieAuditResult(
+        sensitive=sensitive,
+        fifo_result=results["fifo"],
+        lifo_result=results["lifo"],
+        errors=errors,
+    )
+
+
+__all__ = [
+    "NUMPY_GLOBAL",
+    "TieAuditResult",
+    "UnseededRandomError",
+    "audit_tie_sensitivity",
+    "install_rng_trap",
+    "rng_trap",
+    "uninstall_rng_trap",
+]

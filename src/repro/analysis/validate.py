@@ -1,0 +1,105 @@
+"""Validate a saved ``repro.analysis --format json`` report.
+
+The nightly workflow archives lint reports as trend artifacts the same
+way it archives benchmark JSON; like :mod:`repro.bench.validate`, this
+module is the contract check that keeps those artifacts machine-readable:
+a report that fails here would silently break whatever tooling later
+reads the trend.
+
+Usage::
+
+    python -m repro.analysis --format json > analysis_report.json
+    python -m repro.analysis.validate analysis_report.json
+
+Exit status 0 when the report conforms; 1 with one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from .engine import REPORT_VERSION
+
+#: Top-level keys every report owes.
+REQUIRED_KEYS = ("title", "version", "strict", "ok", "rules",
+                 "diagnostics", "summary")
+
+#: Keys every diagnostic entry owes.
+REQUIRED_DIAGNOSTIC_KEYS = ("code", "path", "line", "col", "message",
+                            "waived", "waiver_reason")
+
+#: Keys the summary block owes.
+REQUIRED_SUMMARY_KEYS = ("files_analyzed", "violations", "waived",
+                         "unwaived", "per_rule")
+
+
+def validate_report(path: Path) -> List[str]:
+    """Problems with one report file (empty list = conforming)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable or invalid JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path.name}: top level must be a JSON object"]
+
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{path.name}: missing {key!r}")
+    if problems:
+        return problems
+
+    if payload["version"] != REPORT_VERSION:
+        problems.append(
+            f"{path.name}: version {payload['version']!r} != "
+            f"supported {REPORT_VERSION}")
+    if not isinstance(payload["diagnostics"], list):
+        problems.append(f"{path.name}: diagnostics must be a list")
+    else:
+        for index, diag in enumerate(payload["diagnostics"]):
+            if not isinstance(diag, dict):
+                problems.append(
+                    f"{path.name}: diagnostics[{index}] must be an object")
+                continue
+            for key in REQUIRED_DIAGNOSTIC_KEYS:
+                if key not in diag:
+                    problems.append(
+                        f"{path.name}: diagnostics[{index}] missing {key!r}")
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        problems.append(f"{path.name}: summary must be an object")
+    else:
+        for key in REQUIRED_SUMMARY_KEYS:
+            if key not in summary:
+                problems.append(f"{path.name}: summary missing {key!r}")
+        unwaived = summary.get("unwaived")
+        if isinstance(unwaived, int) and payload.get("strict") and \
+                payload.get("ok") and unwaived:
+            problems.append(
+                f"{path.name}: ok=true under strict but "
+                f"{unwaived} unwaived violations")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) < 2:
+        print("usage: python -m repro.analysis.validate <report.json> ...",
+              file=sys.stderr)
+        return 2
+    problems = []
+    for arg in argv[1:]:
+        problems.extend(validate_report(Path(arg)))
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print(f"OK {len(argv) - 1} analysis report(s) conform to the "
+          "report contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Optional
 
+# repro: allow-module K201 — frozen pre-__slots__ baseline; slotting it would falsify the microbench
+
 PENDING = "pending"
 TRIGGERED = "triggered"
 PROCESSED = "processed"

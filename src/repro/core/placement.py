@@ -293,7 +293,7 @@ class PlacementManager:
                 else:
                     self.releases += 1
             if materialize:
-                for sid in set(previous) - set(move.targets):
+                for sid in sorted(set(previous) - set(move.targets)):
                     store = self.tier.servers[sid].store
                     if move.key in store:
                         store.delete(move.key)

@@ -300,7 +300,10 @@ class AdaptiveRouting(RoutingStrategy):
         defaults to the globally best arm and deviates only on clear
         evidence (see :meth:`_greedy_arm`).
         """
-        classes = {cls for cls, _ in self._score_ewma}
+        # Sorted, not set order: class names are strings, so set order
+        # varies with hash randomization across processes — and float
+        # summation order is result-visible in the arm means.
+        classes = sorted({cls for cls, _ in self._score_ewma})
         means = {}
         for arm in self._arm_names:
             scores = [

@@ -151,10 +151,13 @@ class GraphService:
         assets: Optional[GraphAssets] = None,
         landmark_index=None,
         embedding=None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         """``landmark_index`` / ``embedding`` override the assets-built
         artifacts — used by the graph-update experiments, where routing
-        must run on *stale* preprocessing (Fig 10)."""
+        must run on *stale* preprocessing (Fig 10). ``sanitize`` arms the
+        runtime sanitizer on the service's environment (default: the
+        ``REPRO_SANITIZE`` environment variable)."""
         self._landmark_index_override = landmark_index
         self._embedding_override = embedding
         self.config = config or ClusterConfig()
@@ -170,7 +173,7 @@ class GraphService:
         # update. Created before the strategies so they can hold it by
         # reference; owned (and cleared) by the LiveUpdateManager.
         self._stale: set = set()
-        self.env = Environment()
+        self.env = Environment(sanitize=sanitize)
         self.tier = StorageTier(
             self.env,
             num_servers=self.config.num_storage_servers,

@@ -21,13 +21,27 @@ simulated results do not.
 The environment also counts dispatched events (:attr:`events_processed`
 per environment, :func:`total_events_processed` process-wide), which is
 what benchmark artifacts report as ``events_per_second``.
+
+Sanitizer mode
+--------------
+
+``Environment(sanitize=True)`` (or ``REPRO_SANITIZE=1``) arms the runtime
+counterpart of ``python -m repro.analysis``: bare timeouts are *retired*
+instead of recycled so any retained reference trips the POOLED guards
+deterministically, module-level ``random``/``np.random`` calls raise
+while the simulation runs (see :mod:`repro.analysis.sanitize`), and the
+run loop tallies same-timestamp tie cohorts (:meth:`sanitize_report`).
+Sanitize mode never changes simulated results — only what misuse does.
+``tie_break="lifo"`` reverses same-timestamp dispatch order for the
+tie-sensitivity audit (:func:`repro.analysis.sanitize.audit_tie_sensitivity`).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from heapq import heappop, heappush
-from typing import Any, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from .events import (
     POOLED,
@@ -52,13 +66,22 @@ def total_events_processed() -> int:
     return _TOTAL_EVENTS[0]
 
 
+def _sanitize_from_env() -> bool:
+    """Default sanitize switch, read from ``REPRO_SANITIZE``."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
 class Environment:
     """Execution environment for a single simulation run."""
 
     __slots__ = ("_now", "_queue", "_sequence", "_active_process",
-                 "_timeout_pool", "_events_processed", "_run_targets")
+                 "_timeout_pool", "_events_processed", "_run_targets",
+                 "_sanitize", "_seq_step", "_tie_cohorts", "_tie_max")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, *,
+                 sanitize: Optional[bool] = None,
+                 tie_break: str = "fifo") -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
@@ -70,6 +93,44 @@ class Environment:
         # loop can observe its target's completion even if a process
         # consumes the same bare timeout.
         self._run_targets: list[Event] = []
+        self._sanitize = _sanitize_from_env() if sanitize is None \
+            else bool(sanitize)
+        if tie_break == "fifo":
+            self._seq_step = 1
+        elif tie_break == "lifo":
+            # Audit mode: later same-instant insertions get *smaller*
+            # sequence keys, reversing dispatch order within every tie
+            # cohort (audit_tie_sensitivity runs both orders and diffs).
+            self._seq_step = -1
+        else:
+            raise SimulationError(
+                f"tie_break must be 'fifo' or 'lifo', got {tie_break!r}")
+        # Sanitize-mode tallies of same-timestamp dispatch cohorts.
+        self._tie_cohorts = 0
+        self._tie_max = 1
+
+    @property
+    def sanitize(self) -> bool:
+        """True when sanitizer mode is armed for this environment."""
+        return self._sanitize
+
+    def sanitize_report(self) -> Dict[str, Any]:
+        """Sanitizer observations for this environment.
+
+        ``reports`` lists non-fatal hazard observations (currently always
+        empty: every armed trap — pooled-timeout reuse, non-Event yield,
+        unseeded global RNG — fails fast with :class:`SimulationError`
+        instead of reporting). The tie-cohort tallies quantify how much
+        same-timestamp tie-breaking the run exercised: cohorts of two or
+        more events resolve by insertion order, the contract the batched
+        kernel on the roadmap must preserve.
+        """
+        return {
+            "sanitize": self._sanitize,
+            "reports": [],
+            "tie_cohorts_multi": self._tie_cohorts,
+            "max_tie_cohort": self._tie_max,
+        }
 
     @property
     def now(self) -> float:
@@ -110,7 +171,7 @@ class Environment:
                 timeout._state = TRIGGERED
                 sequence = self._sequence
                 heappush(self._queue, (self._now + delay, sequence, timeout))
-                self._sequence = sequence + 1
+                self._sequence = sequence + self._seq_step
                 return timeout
         return Timeout(self, delay, value)
 
@@ -129,7 +190,7 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heappush(self._queue, (self._now + delay, self._sequence, event))
-        self._sequence += 1
+        self._sequence += self._seq_step
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -172,10 +233,18 @@ class Environment:
         pop = heappop
         pool = self._timeout_pool
         count = 0
+        sanitize = self._sanitize
+        if sanitize:
+            # Lazy import: the analysis package only loads when sanitizing.
+            from ..analysis.sanitize import install_rng_trap, uninstall_rng_trap
+            last_when = float("-inf")
+            cohort = 0
         if isinstance(until, Event):
             target = until
             targets = self._run_targets
             targets.append(target)
+            if sanitize:
+                install_rng_trap()
             try:
                 while target._state != PROCESSED:
                     if not queue:
@@ -194,6 +263,24 @@ class Environment:
                     when, _seq, event = pop(queue)
                     self._now = when
                     count += 1
+                    if sanitize:
+                        if when == last_when:
+                            cohort += 1
+                            if cohort == 2:
+                                self._tie_cohorts += 1
+                            if cohort > self._tie_max:
+                                self._tie_max = cohort
+                        else:
+                            last_when = when
+                            cohort = 1
+                        if event._exception is not None \
+                                and event._waiter is None \
+                                and not event.callbacks \
+                                and event is not target:
+                            # Unhandled failure: nothing will ever observe
+                            # this exception — surface it instead of
+                            # letting it rot on the event.
+                            raise event._exception
                     event._state = PROCESSED
                     waiter = event._waiter
                     if waiter is not None:
@@ -216,7 +303,8 @@ class Environment:
                                 # outer run()'s — must stay PROCESSED so
                                 # their loops can observe completion)
                                 event._state = POOLED
-                                pool.append(event)
+                                if not sanitize:
+                                    pool.append(event)
                             try:
                                 rstate = result._state
                             except AttributeError:
@@ -246,16 +334,36 @@ class Environment:
                 targets.pop()
                 self._events_processed += count
                 _TOTAL_EVENTS[0] += count
+                if sanitize:
+                    uninstall_rng_trap()
             return target.value
 
         limit = float("inf") if until is None else float(until)
         if limit < self._now:
             raise SimulationError("run(until=...) is in the past")
+        if sanitize:
+            install_rng_trap()
         try:
             while queue and queue[0][0] <= limit:
                 when, _seq, event = pop(queue)
                 self._now = when
                 count += 1
+                if sanitize:
+                    if when == last_when:
+                        cohort += 1
+                        if cohort == 2:
+                            self._tie_cohorts += 1
+                        if cohort > self._tie_max:
+                            self._tie_max = cohort
+                    else:
+                        last_when = when
+                        cohort = 1
+                    if event._exception is not None \
+                            and event._waiter is None \
+                            and not event.callbacks \
+                            and event not in self._run_targets:
+                        # Unhandled failure (see the event-target loop).
+                        raise event._exception
                 event._state = PROCESSED
                 waiter = event._waiter
                 if waiter is not None:
@@ -273,7 +381,8 @@ class Environment:
                                 and not event.callbacks \
                                 and event not in self._run_targets:
                             event._state = POOLED
-                            pool.append(event)
+                            if not sanitize:
+                                pool.append(event)
                         try:
                             rstate = result._state
                         except AttributeError:
@@ -302,6 +411,8 @@ class Environment:
         finally:
             self._events_processed += count
             _TOTAL_EVENTS[0] += count
+            if sanitize:
+                uninstall_rng_trap()
         if until is not None:
             self._now = limit
         return None

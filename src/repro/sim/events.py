@@ -99,6 +99,13 @@ class Event:
     def value(self) -> Any:
         if self._state == PENDING:
             raise SimulationError("event value read before trigger")
+        if self._state == POOLED:
+            raise SimulationError(
+                "value read on a recycled bare Timeout; bare timeouts are "
+                "single-waiter and must not be retained past the next "
+                "yield (see module docstring; pass value= to opt out of "
+                "pooling)"
+            )
         if self._exception is not None:
             raise self._exception
         return self._value
@@ -249,7 +256,11 @@ class Process(Event):
                     and not event.callbacks \
                     and event not in env._run_targets:
                 event._state = POOLED
-                env._timeout_pool.append(event)
+                if not env._sanitize:
+                    env._timeout_pool.append(event)
+                # Sanitize mode retires the timeout without reissuing it,
+                # so any later touch of a retained reference trips the
+                # POOLED guards deterministically (reuse-after-free trap).
 
             try:
                 state = target._state
@@ -286,8 +297,13 @@ class Process(Event):
 
     def _yield_error(self, target: Any) -> None:
         """The generator yielded something that is not an event."""
-        self.env._active_process = None
-        error = SimulationError(f"process yielded a non-event: {target!r}")
+        env = self.env
+        env._active_process = None
+        error = SimulationError(
+            f"process yielded a non-event: {target!r} "
+            f"(at t={env.now}, in "
+            f"{getattr(self._generator, '__name__', '<generator>')})"
+        )
         self._generator.throw(error)
         raise error  # pragma: no cover - generator swallowed the throw
 

@@ -48,6 +48,7 @@ class StorageServer:
 
     # -- untimed bulk loading (setup happens outside simulated time) -------
     def load(self, key: int, value: bytes) -> None:
+        # repro: allow S301 — bulk loading runs before the simulation starts
         self.store.put(key, value)
 
     # -- failure injection ---------------------------------------------------

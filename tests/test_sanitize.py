@@ -1,0 +1,314 @@
+"""Runtime sanitizer: every trap provoked, plus sanitize-on/off parity."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, GraphService
+from repro.analysis.sanitize import (
+    UnseededRandomError,
+    audit_tie_sensitivity,
+    rng_trap,
+)
+from repro.core import GraphAssets
+from repro.datasets import memetracker_like
+from repro.sim import Environment, SimulationError
+from repro.workloads import hotspot_workload
+
+
+class TestPooledTimeoutRetention:
+    def test_value_read_after_next_yield_trips(self):
+        env = Environment(sanitize=True)
+
+        def retainer(env):
+            t = env.timeout(1.0)
+            yield t
+            yield env.timeout(1.0)  # t is retired here
+            return t.value  # reuse-after-free
+
+        env.process(retainer(env))
+        with pytest.raises(SimulationError, match="recycled bare Timeout"):
+            env.run()
+
+    def test_re_yield_after_next_yield_trips(self):
+        env = Environment(sanitize=True)
+
+        def re_yielder(env):
+            t = env.timeout(1.0)
+            yield t
+            yield env.timeout(1.0)
+            yield t  # single-waiter contract violation
+
+        env.process(re_yielder(env))
+        with pytest.raises(SimulationError, match="recycled bare Timeout"):
+            env.run()
+
+    def test_unsanitized_run_recycles_silently(self):
+        # The bug the trap exists for: without sanitize the retained
+        # reference aliases a *recycled* timeout and misreads state.
+        env = Environment()
+
+        def retainer(env):
+            t = env.timeout(1.0)
+            yield t
+            yield env.timeout(1.0)
+
+        env.process(retainer(env))
+        env.run()
+        assert len(env._timeout_pool) >= 1  # recycled, not retired
+
+    def test_valued_timeouts_are_exempt(self):
+        env = Environment(sanitize=True)
+        seen = []
+
+        def keeper(env):
+            t = env.timeout(1.0, value="payload")
+            yield t
+            yield env.timeout(1.0)
+            seen.append(t.value)  # explicit value= opts out of pooling
+
+        env.process(keeper(env))
+        env.run()
+        assert seen == ["payload"]
+
+
+class TestUnhandledFailureTrap:
+    def test_unobserved_process_failure_surfaces(self):
+        env = Environment(sanitize=True)
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        env.process(failing(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_handled_failure_is_not_trapped(self):
+        env = Environment(sanitize=True)
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def watcher(env):
+            try:
+                yield env.process(failing(env))
+            except ValueError:
+                return "caught"
+
+        p = env.process(watcher(env))
+        assert env.run(until=p) == "caught"
+
+    def test_unsanitized_failure_stays_silent(self):
+        # Documents the default (simpy-like) behavior the trap tightens.
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        env.process(failing(env))
+        env.run()  # completes; the exception sits on the process event
+
+
+class TestRngTrap:
+    def test_random_call_inside_sanitized_run_raises(self):
+        env = Environment(sanitize=True)
+
+        def gambler(env):
+            yield env.timeout(1.0)
+            random.random()
+
+        env.process(gambler(env))
+        with pytest.raises(UnseededRandomError, match="random.random"):
+            env.run()
+        # The trap uninstalls even though run() raised.
+        assert 0.0 <= random.random() <= 1.0
+
+    def test_numpy_global_call_raises(self):
+        env = Environment(sanitize=True)
+
+        def gambler(env):
+            yield env.timeout(1.0)
+            np.random.rand()
+
+        env.process(gambler(env))
+        with pytest.raises(UnseededRandomError, match="np.random.rand"):
+            env.run()
+        assert 0.0 <= float(np.random.rand()) <= 1.0
+
+    def test_seeded_generators_pass(self):
+        env = Environment(sanitize=True)
+        drawn = []
+
+        def principled(env):
+            rng = random.Random(7)
+            nrng = np.random.default_rng(7)
+            yield env.timeout(1.0)
+            drawn.append(rng.random())
+            drawn.append(float(nrng.random()))
+
+        env.process(principled(env))
+        env.run()
+        assert len(drawn) == 2
+
+    def test_trap_is_refcounted(self):
+        with rng_trap():
+            with rng_trap():
+                with pytest.raises(UnseededRandomError):
+                    random.random()
+            # still installed: outer context holds it
+            with pytest.raises(UnseededRandomError):
+                random.shuffle([1, 2])
+        assert 0.0 <= random.random() <= 1.0
+
+    def test_unsanitized_run_leaves_rng_alone(self):
+        env = Environment()
+        drawn = []
+
+        def gambler(env):
+            yield env.timeout(1.0)
+            drawn.append(random.random())
+
+        env.process(gambler(env))
+        env.run()
+        assert len(drawn) == 1
+
+
+class TestTieAudit:
+    def test_sensitive_program_is_flagged(self):
+        def build(env):
+            out = []
+
+            def proc(tag):
+                out.append(tag)  # runs at Initialize dispatch: tie-ordered
+                yield env.timeout(1.0)
+
+            env.process(proc("a"))
+            env.process(proc("b"))
+            return lambda: list(out)
+
+        result = audit_tie_sensitivity(build)
+        assert result.sensitive
+        assert result.fifo_result == ["a", "b"]
+        assert result.lifo_result == ["b", "a"]
+        assert "SENSITIVE" in result.describe()
+
+    def test_insensitive_program_passes(self):
+        def build(env):
+            out = []
+
+            def proc(tag):
+                out.append(tag)
+                yield env.timeout(1.0)
+
+            env.process(proc("a"))
+            env.process(proc("b"))
+            return lambda: sorted(out)  # order-insensitive extraction
+
+        result = audit_tie_sensitivity(build)
+        assert not result.sensitive
+        assert "insensitive" in result.describe()
+
+    def test_one_sided_crash_counts_as_sensitive(self):
+        def build(env):
+            def chooser(env):
+                yield env.timeout(1.0)
+
+            def crasher(_env):
+                raise SimulationError("lifo goes first and dies")
+                yield  # pragma: no cover - unreachable
+
+            # LIFO initializes crasher's cohort peer first.
+            env.process(chooser(env))
+            if env._seq_step < 0:
+                env.process(crasher(env))
+            return lambda: "finished"
+
+        result = audit_tie_sensitivity(build)
+        assert result.sensitive
+        assert "lifo" in result.errors
+
+    def test_build_must_return_extractor(self):
+        with pytest.raises(TypeError, match="extractor"):
+            audit_tie_sensitivity(lambda env: None)
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(SimulationError, match="tie_break"):
+            Environment(tie_break="random")
+
+
+class TestTieTallies:
+    def test_cohorts_counted_under_sanitize(self):
+        env = Environment(sanitize=True)
+
+        def ticker(env):
+            yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.process(ticker(env))
+        env.run()
+        report = env.sanitize_report()
+        assert report["sanitize"] is True
+        assert report["reports"] == []
+        # Two multi-event cohorts: the t=0 Initialize pair, and at t=1 the
+        # two timeouts plus both process-completion events (cohort of 4).
+        assert report["tie_cohorts_multi"] == 2
+        assert report["max_tie_cohort"] == 4
+
+    def test_off_by_default(self):
+        env = Environment()
+        assert env.sanitize is False
+        report = env.sanitize_report()
+        assert report["tie_cohorts_multi"] == 0
+
+    def test_env_var_arms_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Environment().sanitize is True
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert Environment().sanitize is False
+        # Explicit argument beats the environment.
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Environment(sanitize=False).sanitize is False
+
+
+class TestSanitizeParity:
+    """Sanitize mode must never change simulated results — only failure
+    behavior. A small end-to-end service run must be bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        graph = memetracker_like(scale=0.03, seed=3)
+        assets = GraphAssets(graph)
+        queries = hotspot_workload(graph, num_hotspots=5,
+                                   queries_per_hotspot=8, radius=2, hops=2,
+                                   seed=1, csr=assets.csr_both)
+        return graph, assets, queries
+
+    @staticmethod
+    def _run(graph, assets, queries, sanitize):
+        config = ClusterConfig(routing="embed", num_processors=3,
+                               num_storage_servers=2,
+                               cache_capacity_bytes=2 << 20,
+                               num_landmarks=12, min_separation=2, dim=6,
+                               embed_method="lmds")
+        with GraphService.open(graph, config, assets=assets,
+                               sanitize=sanitize) as service:
+            with service.session() as session:
+                session.submit_many(queries)
+                report = session.report()
+            sanitize_report = service.env.sanitize_report()
+        return report, sanitize_report
+
+    def test_results_identical_and_zero_reports(self, workload):
+        graph, assets, queries = workload
+        plain, _ = self._run(graph, assets, queries, sanitize=False)
+        sanitized, sreport = self._run(graph, assets, queries, sanitize=True)
+        assert sreport["sanitize"] is True
+        assert sreport["reports"] == []
+        assert sanitized.makespan == plain.makespan
+        assert len(sanitized.records) == len(plain.records)
+        for a, b in zip(plain.records, sanitized.records):
+            assert a == b  # full per-query records, dataclass equality
