@@ -53,27 +53,29 @@ _PER_KEY_REQUEST_BYTES = 8
 _RESPONSE_HEADER_BYTES = 16
 
 
-class _ServerFetch:
+class _ServerFetch(Event):
     """One in-flight multiget round trip to a single storage server.
 
-    The chain is driven entirely by event callbacks on the simulation
-    kernel; ``completion`` triggers when the response payload has fully
-    arrived (or fails with :class:`StorageServerDown`). Keep the stage
-    order in lockstep with ``StorageServer.serve_process``, which is the
-    generator twin used by the storage-tier tests.
+    The fetch *is* its own completion event: it subclasses
+    :class:`~repro.sim.events.Event` and succeeds when the response
+    payload has fully arrived (or fails with
+    :class:`StorageServerDown`), so a gather wave allocates one object
+    per touched server instead of a fetch-plus-event pair. The chain is
+    driven entirely by event callbacks on the simulation kernel. Keep
+    the stage order in lockstep with ``StorageServer.serve_process``,
+    which is the generator twin used by the storage-tier tests.
     """
 
-    __slots__ = ("processor", "server", "num_keys", "nbytes", "completion",
-                 "request")
+    __slots__ = ("processor", "server", "num_keys", "nbytes", "request")
 
     def __init__(self, processor: "QueryProcessor", server_id: int,
                  num_keys: int, nbytes: int) -> None:
+        env = processor.env
+        super().__init__(env)
         self.processor = processor
         self.server = processor.tier.servers[server_id]
         self.num_keys = num_keys
         self.nbytes = nbytes
-        env = processor.env
-        self.completion = Event(env)
         request_bytes = _REQUEST_HEADER_BYTES + _PER_KEY_REQUEST_BYTES * num_keys
         arrival = env.timeout(
             processor.costs.network.transfer_time(request_bytes)
@@ -90,7 +92,7 @@ class _ServerFetch:
         server = self.server
         if not server.alive:
             server.pipeline.release(self.request)
-            self.completion.fail(
+            self.fail(
                 StorageServerDown(f"storage server {server.server_id} is down")
             )
             return
@@ -105,7 +107,7 @@ class _ServerFetch:
         server.keys_served += self.num_keys
         server.bytes_served += self.nbytes
         server.pipeline.release(self.request)
-        response = self.processor.env.timeout(
+        response = self.env.timeout(
             self.processor.costs.network.transfer_time(
                 _RESPONSE_HEADER_BYTES + self.nbytes
             )
@@ -113,7 +115,7 @@ class _ServerFetch:
         response.callbacks.append(self._on_response)
 
     def _on_response(self, _event: Event) -> None:
-        self.completion.succeed(None)
+        self.succeed(None)
 
 
 def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
@@ -178,9 +180,7 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
                 entry = overlay.get(int(node))
                 if entry is not None:
                     sid = pick_read_replica(entry.replicas, tier.servers)
-            fetches = [
-                _ServerFetch(processor, sid, 1, total_bytes).completion
-            ]
+            fetches = [_ServerFetch(processor, sid, 1, total_bytes)]
         else:
             owners = processor.owner_of[missed]
             if overlay is not None:
@@ -201,14 +201,23 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
                                     minlength=num_servers)
             fetches = [
                 _ServerFetch(processor, int(sid), int(counts[sid]),
-                             int(byte_sums[sid])).completion
+                             int(byte_sums[sid]))
                 for sid in np.nonzero(counts)[0]
             ]
             total_bytes = int(byte_sums.sum())
         if count_in_stats:
             stats.bytes_fetched += total_bytes
             stats.storage_requests += len(fetches)
-        yield env.all_of(fetches)
+        if len(fetches) == 1:
+            # One touched server (every point probe and walk step, plus
+            # any frontier that happens to land on a single owner): wait
+            # on the fetch itself. An AllOf wrapper here would add a
+            # condition allocation *and* an extra same-instant event
+            # dispatch per wave for nothing — the fetch is already the
+            # completion event.
+            yield fetches[0]
+        else:
+            yield env.all_of(fetches)
 
         if processor.use_cache:
             cache.put_many(missed, miss_sizes)

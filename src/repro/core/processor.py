@@ -66,8 +66,9 @@ class QueryProcessor:
         self.inbox.put(POISON)
 
     def _run(self, router: "Router"):
+        inbox = self.inbox
         while True:
-            query = yield self.inbox.get()
+            query = yield inbox.get()
             if query is POISON:
                 break
             if not self.alive:

@@ -1,0 +1,521 @@
+/* Native calendar-kernel run loop for repro.sim.
+ *
+ * Compiled on demand by repro/sim/native.py with the system C compiler
+ * (no third-party dependencies); see that module for the build/caching
+ * protocol. The loops here are line-for-line transliterations of
+ * Environment._run_calendar's two dispatch loops (event-target and
+ * time-limit) with the first iteration of Process._resume inlined —
+ * keep all of them and Event._run_callbacks in lockstep.
+ *
+ * Scheduling semantics are identical to the pure-python calendar
+ * kernel: same cohort structures, same pooling rules, same error
+ * messages. Only wall clock changes. Sanitize-mode runs never reach
+ * this module (native.py falls back to the python loop, which carries
+ * the tie tallies and traps).
+ *
+ * Attribute access: every class involved declares __slots__, so member
+ * descriptors give fixed byte offsets into the instances. _bind()
+ * resolves those offsets once; the loops then read and write slots
+ * directly (with manual refcounting) instead of going through
+ * PyObject_GetAttr. State comparisons are pointer identity against the
+ * interned state strings, exactly like the python kernel's `is` checks.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* -- bound objects (owned references, set once by _bind) ---------------- */
+static PyObject *EventCls;     /* repro.sim.events.Event */
+static PyObject *TimeoutCls;   /* repro.sim.events.Timeout (exact type) */
+static PyObject *S_processed;  /* events.PROCESSED */
+static PyObject *S_pooled;     /* events.POOLED */
+static PyObject *SimErr;       /* events.SimulationError */
+static PyObject *TotalEvents;  /* environment._TOTAL_EVENTS (1-elem list) */
+
+/* -- slot offsets -------------------------------------------------------- */
+static Py_ssize_t E_callbacks, E_waiter, E_value, E_exception, E_state;
+static Py_ssize_t P_send, P_generator, P_resume_cb, P_target;
+static Py_ssize_t V_now, V_active, V_pool, V_spare, V_events, V_targets,
+                  V_cohort, V_cohort_head, V_cohort_time;
+
+/* -- interned method names ----------------------------------------------- */
+static PyObject *str_finish, *str_yield_error, *str_throw,
+                *str_form_cohort, *str_next_time;
+
+#define SLOT(o, off) (*(PyObject **)((char *)(o) + (off)))
+
+static inline void
+slot_set(PyObject *o, Py_ssize_t off, PyObject *v)
+{
+    PyObject *old = SLOT(o, off);
+    Py_INCREF(v);
+    SLOT(o, off) = v;
+    Py_XDECREF(old);
+}
+
+static Py_ssize_t
+member_offset(PyObject *cls, const char *name)
+{
+    PyObject *desc = PyObject_GetAttrString(cls, name);
+    Py_ssize_t off;
+    if (desc == NULL)
+        return -1;
+    if (!PyObject_TypeCheck(desc, &PyMemberDescr_Type)) {
+        Py_DECREF(desc);
+        PyErr_Format(PyExc_TypeError, "%s is not a __slots__ member", name);
+        return -1;
+    }
+    off = ((PyMemberDescrObject *)desc)->d_member->offset;
+    Py_DECREF(desc);
+    return off;
+}
+
+static inline int
+in_targets(PyObject *targets, PyObject *ev)
+{
+    Py_ssize_t i, n = PyList_GET_SIZE(targets);
+    for (i = 0; i < n; i++)
+        if (PyList_GET_ITEM(targets, i) == ev)
+            return 1;
+    return 0;
+}
+
+/* env._events_processed += count; _TOTAL_EVENTS[0] += count */
+static int
+add_counts(PyObject *env, Py_ssize_t count)
+{
+    PyObject *nw;
+    Py_ssize_t cur = PyLong_AsSsize_t(SLOT(env, V_events));
+    if (cur == -1 && PyErr_Occurred())
+        return -1;
+    nw = PyLong_FromSsize_t(cur + count);
+    if (nw == NULL)
+        return -1;
+    slot_set(env, V_events, nw);
+    Py_DECREF(nw);
+    cur = PyLong_AsSsize_t(PyList_GET_ITEM(TotalEvents, 0));
+    if (cur == -1 && PyErr_Occurred())
+        return -1;
+    nw = PyLong_FromSsize_t(cur + count);
+    if (nw == NULL)
+        return -1;
+    PyList_SetItem(TotalEvents, 0, nw); /* steals nw */
+    return 0;
+}
+
+/* write env._cohort_head = head and fold counts, preserving any pending
+ * exception (the C analogue of the python loops' finally blocks). */
+static void
+writeback(PyObject *env, Py_ssize_t head, Py_ssize_t count)
+{
+    PyObject *etype, *evalue, *etb, *nw;
+    PyErr_Fetch(&etype, &evalue, &etb);
+    nw = PyLong_FromSsize_t(head);
+    if (nw != NULL) {
+        slot_set(env, V_cohort_head, nw);
+        Py_DECREF(nw);
+    }
+    else
+        PyErr_Clear();
+    if (add_counts(env, count) < 0)
+        PyErr_Clear();
+    PyErr_Restore(etype, evalue, etb);
+}
+
+/* Dispatch one event: Event._run_callbacks with the first iteration of
+ * Process._resume inlined for single-waiter events. Returns 0, or -1
+ * with an exception set. */
+static int
+dispatch_event(PyObject *env, PyObject *event, PyObject *targets)
+{
+    PyObject *waiter, *callbacks;
+
+    slot_set(event, E_state, S_processed);
+    waiter = SLOT(event, E_waiter);
+    if (waiter != Py_None) {
+        PyObject *exc, *result;
+        Py_INCREF(waiter);
+        slot_set(event, E_waiter, Py_None);
+        slot_set(env, V_active, waiter);
+        exc = SLOT(event, E_exception);
+        if (exc == Py_None) {
+            PyObject *send = SLOT(waiter, P_send);
+            PyObject *value = SLOT(event, E_value);
+            Py_INCREF(send);
+            Py_INCREF(value);
+            result = PyObject_CallOneArg(send, value);
+            Py_DECREF(send);
+            Py_DECREF(value);
+        }
+        else {
+            PyObject *gen = SLOT(waiter, P_generator);
+            Py_INCREF(gen);
+            Py_INCREF(exc);
+            result = PyObject_CallMethodOneArg(gen, str_throw, exc);
+            Py_DECREF(gen);
+            Py_DECREF(exc);
+        }
+        if (result == NULL) {
+            /* Generator finished or failed: waiter._finish(exc) delivers
+             * the return value / failure (and re-raises KI/SE). */
+            PyObject *etype, *evalue, *etb, *r;
+            PyErr_Fetch(&etype, &evalue, &etb);
+            PyErr_NormalizeException(&etype, &evalue, &etb);
+            if (evalue != NULL && etb != NULL)
+                PyException_SetTraceback(evalue, etb);
+            r = PyObject_CallMethodOneArg(waiter, str_finish, evalue);
+            Py_XDECREF(etype);
+            Py_XDECREF(evalue);
+            Py_XDECREF(etb);
+            Py_DECREF(waiter);
+            if (r == NULL)
+                return -1;
+            Py_DECREF(r);
+        }
+        else {
+            /* Consumed bare timeout: recycle (run targets must stay
+             * PROCESSED so their loops can observe completion). */
+            if (Py_TYPE(event) == (PyTypeObject *)TimeoutCls
+                    && SLOT(event, E_value) == Py_None
+                    && PyList_GET_SIZE(SLOT(event, E_callbacks)) == 0
+                    && !in_targets(targets, event)) {
+                slot_set(event, E_state, S_pooled);
+                if (SLOT(env, V_spare) == Py_None)
+                    slot_set(env, V_spare, event);
+                else if (PyList_Append(SLOT(env, V_pool), event) < 0) {
+                    Py_DECREF(result);
+                    Py_DECREF(waiter);
+                    return -1;
+                }
+            }
+            if (!PyObject_TypeCheck(result, (PyTypeObject *)EventCls)) {
+                PyObject *r = PyObject_CallMethodOneArg(
+                    waiter, str_yield_error, result);
+                Py_DECREF(result);
+                Py_DECREF(waiter);
+                if (r != NULL) {
+                    /* unreachable: _yield_error always raises */
+                    Py_DECREF(r);
+                    PyErr_SetString(SimErr, "process yielded a non-event");
+                }
+                return -1;
+            }
+            slot_set(waiter, P_target, result);
+            PyObject *rstate = SLOT(result, E_state);
+            if (rstate == S_processed) {
+                /* Already resolved: fall back to the python trampoline
+                 * for the (rare) multi-step resume. */
+                PyObject *resume = SLOT(waiter, P_resume_cb);
+                PyObject *r;
+                Py_INCREF(resume);
+                r = PyObject_CallOneArg(resume, result);
+                Py_DECREF(resume);
+                Py_DECREF(result);
+                Py_DECREF(waiter);
+                if (r == NULL)
+                    return -1;
+                Py_DECREF(r);
+            }
+            else if (rstate == S_pooled) {
+                Py_DECREF(result);
+                Py_DECREF(waiter);
+                PyErr_SetString(SimErr,
+                    "yielded a recycled bare Timeout; bare timeouts are "
+                    "single-waiter (see repro.sim.events docstring)");
+                return -1;
+            }
+            else {
+                PyObject *rcb = SLOT(result, E_callbacks);
+                if (SLOT(result, E_waiter) == Py_None
+                        && PyList_GET_SIZE(rcb) == 0)
+                    slot_set(result, E_waiter, waiter);
+                else if (PyList_Append(rcb, SLOT(waiter, P_resume_cb)) < 0) {
+                    Py_DECREF(result);
+                    Py_DECREF(waiter);
+                    return -1;
+                }
+                slot_set(env, V_active, Py_None);
+                Py_DECREF(result);
+                Py_DECREF(waiter);
+            }
+        }
+    }
+    callbacks = SLOT(event, E_callbacks);
+    if (PyList_GET_SIZE(callbacks) != 0) {
+        PyObject *empty = PyList_New(0);
+        Py_ssize_t i, n;
+        if (empty == NULL)
+            return -1;
+        Py_INCREF(callbacks);
+        slot_set(event, E_callbacks, empty);
+        Py_DECREF(empty);
+        n = PyList_GET_SIZE(callbacks);
+        for (i = 0; i < n; i++) {
+            PyObject *r = PyObject_CallOneArg(
+                PyList_GET_ITEM(callbacks, i), event);
+            if (r == NULL) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+            Py_DECREF(r);
+        }
+        Py_DECREF(callbacks);
+    }
+    return 0;
+}
+
+/* run_limit(env, limit): the time-limit loop. The python wrapper
+ * validates the limit and advances the clock to it afterwards. */
+static PyObject *
+native_run_limit(PyObject *self, PyObject *args)
+{
+    PyObject *env, *targets, *cohort;
+    double limit;
+    Py_ssize_t head, counted, count = 0;
+    int status = 0;
+
+    if (!PyArg_ParseTuple(args, "Od", &env, &limit))
+        return NULL;
+    targets = SLOT(env, V_targets);
+    cohort = SLOT(env, V_cohort);
+    Py_INCREF(cohort);
+    head = PyLong_AsSsize_t(SLOT(env, V_cohort_head));
+    if (head == -1 && PyErr_Occurred()) {
+        Py_DECREF(cohort);
+        return NULL;
+    }
+    counted = head;
+    for (;;) {
+        if (head < PyList_GET_SIZE(cohort)) {
+            PyObject *event = PyList_GET_ITEM(cohort, head);
+            Py_INCREF(event);
+            head++;
+            status = dispatch_event(env, event, targets);
+            Py_DECREF(event);
+            if (status < 0)
+                break;
+            continue;
+        }
+        count += head - counted;
+        counted = head;
+        {
+            PyObject *when = PyObject_CallMethodNoArgs(env, str_next_time);
+            double w;
+            if (when == NULL) {
+                status = -1;
+                break;
+            }
+            if (when == Py_None) {
+                Py_DECREF(when);
+                break;
+            }
+            w = PyFloat_AsDouble(when);
+            if (w == -1.0 && PyErr_Occurred()) {
+                Py_DECREF(when);
+                status = -1;
+                break;
+            }
+            if (w > limit) {
+                Py_DECREF(when);
+                break;
+            }
+            {
+                PyObject *r = PyObject_CallMethodNoArgs(env, str_form_cohort);
+                if (r == NULL) {
+                    Py_DECREF(when);
+                    status = -1;
+                    break;
+                }
+                Py_DECREF(r);
+            }
+            Py_DECREF(cohort);
+            cohort = SLOT(env, V_cohort);
+            Py_INCREF(cohort);
+            head = 0;
+            counted = 0;
+            slot_set(env, V_now, when);
+            Py_DECREF(when);
+        }
+    }
+    count += head - counted;
+    writeback(env, head, count);
+    Py_DECREF(cohort);
+    if (status < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* run_target(env, target): the event-target loop. The python wrapper
+ * returns target.value (re-raising a failure) afterwards. */
+static PyObject *
+native_run_target(PyObject *self, PyObject *args)
+{
+    PyObject *env, *target, *targets, *cohort;
+    Py_ssize_t head, counted, count = 0;
+    int status = 0;
+
+    if (!PyArg_ParseTuple(args, "OO", &env, &target))
+        return NULL;
+    targets = SLOT(env, V_targets);
+    if (PyList_Append(targets, target) < 0)
+        return NULL;
+    cohort = SLOT(env, V_cohort);
+    Py_INCREF(cohort);
+    head = PyLong_AsSsize_t(SLOT(env, V_cohort_head));
+    if (head == -1 && PyErr_Occurred()) {
+        Py_DECREF(cohort);
+        head = 0;
+        status = -1;
+        goto out;
+    }
+    counted = head;
+    while (SLOT(target, E_state) != S_processed) {
+        if (head < PyList_GET_SIZE(cohort)) {
+            PyObject *event = PyList_GET_ITEM(cohort, head);
+            Py_INCREF(event);
+            head++;
+            status = dispatch_event(env, event, targets);
+            Py_DECREF(event);
+            if (status < 0)
+                break;
+            continue;
+        }
+        count += head - counted;
+        counted = head;
+        {
+            PyObject *r = PyObject_CallMethodNoArgs(env, str_form_cohort);
+            if (r == NULL) {
+                status = -1;
+                break;
+            }
+            if (r == Py_None) {
+                Py_DECREF(r);
+                if (SLOT(target, E_state) == S_pooled)
+                    PyErr_SetString(SimErr,
+                        "run(until=...) target is a recycled bare Timeout; "
+                        "bare timeouts are single-waiter (see "
+                        "repro.sim.events docstring)");
+                else
+                    PyErr_SetString(SimErr,
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)");
+                status = -1;
+                break;
+            }
+            Py_DECREF(r);
+            Py_DECREF(cohort);
+            cohort = SLOT(env, V_cohort);
+            Py_INCREF(cohort);
+            head = 0;
+            counted = 0;
+            slot_set(env, V_now, SLOT(env, V_cohort_time));
+        }
+    }
+    count += head - counted;
+    Py_DECREF(cohort);
+out:
+    /* finally: targets.pop() + count/head writeback */
+    {
+        PyObject *etype, *evalue, *etb;
+        PyErr_Fetch(&etype, &evalue, &etb);
+        if (PySequence_DelItem(targets, PyList_GET_SIZE(targets) - 1) < 0)
+            PyErr_Clear();
+        PyErr_Restore(etype, evalue, etb);
+    }
+    writeback(env, head, count);
+    if (status < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* _bind(Environment, Event, Process, Timeout, PROCESSED, POOLED,
+ *       SimulationError, _TOTAL_EVENTS) */
+static PyObject *
+native_bind(PyObject *self, PyObject *args)
+{
+    PyObject *env_cls, *event_cls, *process_cls, *timeout_cls;
+    PyObject *processed, *pooled, *simerr, *total;
+
+    if (!PyArg_ParseTuple(args, "OOOOOOOO", &env_cls, &event_cls,
+                          &process_cls, &timeout_cls, &processed, &pooled,
+                          &simerr, &total))
+        return NULL;
+
+#define OFF(var, cls, name) \
+    do { \
+        var = member_offset(cls, name); \
+        if (var < 0) \
+            return NULL; \
+    } while (0)
+
+    OFF(E_callbacks, event_cls, "callbacks");
+    OFF(E_waiter, event_cls, "_waiter");
+    OFF(E_value, event_cls, "_value");
+    OFF(E_exception, event_cls, "_exception");
+    OFF(E_state, event_cls, "_state");
+    OFF(P_send, process_cls, "_send");
+    OFF(P_generator, process_cls, "_generator");
+    OFF(P_resume_cb, process_cls, "_resume_cb");
+    OFF(P_target, process_cls, "_target");
+    OFF(V_now, env_cls, "_now");
+    OFF(V_active, env_cls, "_active_process");
+    OFF(V_pool, env_cls, "_timeout_pool");
+    OFF(V_spare, env_cls, "_spare");
+    OFF(V_events, env_cls, "_events_processed");
+    OFF(V_targets, env_cls, "_run_targets");
+    OFF(V_cohort, env_cls, "_cohort");
+    OFF(V_cohort_head, env_cls, "_cohort_head");
+    OFF(V_cohort_time, env_cls, "_cohort_time");
+#undef OFF
+
+    Py_INCREF(event_cls);
+    Py_XSETREF(EventCls, event_cls);
+    Py_INCREF(timeout_cls);
+    Py_XSETREF(TimeoutCls, timeout_cls);
+    Py_INCREF(processed);
+    Py_XSETREF(S_processed, processed);
+    Py_INCREF(pooled);
+    Py_XSETREF(S_pooled, pooled);
+    Py_INCREF(simerr);
+    Py_XSETREF(SimErr, simerr);
+    if (!PyList_CheckExact(total)) {
+        PyErr_SetString(PyExc_TypeError, "_TOTAL_EVENTS must be a list");
+        return NULL;
+    }
+    Py_INCREF(total);
+    Py_XSETREF(TotalEvents, total);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef native_methods[] = {
+    {"_bind", native_bind, METH_VARARGS,
+     "Bind kernel classes/constants and resolve slot offsets."},
+    {"run_limit", native_run_limit, METH_VARARGS,
+     "Dispatch events until the queue drains past `limit`."},
+    {"run_target", native_run_target, METH_VARARGS,
+     "Dispatch events until `target` is processed."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "_repro_native",
+    "C run loop for the repro.sim calendar kernel.",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__repro_native(void)
+{
+    str_finish = PyUnicode_InternFromString("_finish");
+    str_yield_error = PyUnicode_InternFromString("_yield_error");
+    str_throw = PyUnicode_InternFromString("throw");
+    str_form_cohort = PyUnicode_InternFromString("_form_cohort");
+    str_next_time = PyUnicode_InternFromString("_next_time");
+    if (str_finish == NULL || str_yield_error == NULL || str_throw == NULL
+            || str_form_cohort == NULL || str_next_time == NULL)
+        return NULL;
+    return PyModule_Create(&native_module);
+}

@@ -257,7 +257,10 @@ class Process(Event):
                     and event not in env._run_targets:
                 event._state = POOLED
                 if not env._sanitize:
-                    env._timeout_pool.append(event)
+                    if env._spare is None:
+                        env._spare = event
+                    else:
+                        env._timeout_pool.append(event)
                 # Sanitize mode retires the timeout without reissuing it,
                 # so any later touch of a retained reference trips the
                 # POOLED guards deterministically (reuse-after-free trap).

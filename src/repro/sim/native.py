@@ -1,0 +1,134 @@
+"""Build and load the native (C) calendar-kernel run loop.
+
+``Environment(kernel="native")`` (or ``REPRO_KERNEL=native``) compiles
+``_native.c`` — a transliteration of the calendar kernel's two dispatch
+loops — with the system C compiler and drives the simulation through it.
+There are no third-party dependencies: the build needs only a C
+toolchain (``gcc`` or ``cc``) and the CPython headers; when either is
+missing, :func:`load` returns ``None`` and the environment falls back to
+the pure-python calendar kernel, recording the reason in
+``Environment.kernel_fallback_reason``.
+
+Build protocol
+--------------
+
+The shared object is cached next to the source (or under
+``REPRO_NATIVE_CACHE``) keyed by a hash of the C source and the
+interpreter's ABI suffix, so the compiler runs once per source revision
+per interpreter; concurrent builders race benignly through a tmp-file +
+atomic rename. After import, ``_bind()`` hands the C module the kernel
+classes and interned state strings and resolves ``__slots__`` member
+offsets, which is what lets the C loops read event fields at
+C-struct speed.
+
+Semantics are identical to the python calendar kernel — same cohort
+structures, same pooling, same error messages; the equivalence suite
+replays random programs on heap, calendar and native kernels and diffs
+the traces. Sanitize-mode runs always use the python loop (it carries
+the tie tallies and misuse traps).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import shutil
+import subprocess
+import sysconfig
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Optional
+
+from .events import Event, SimulationError
+
+_SOURCE = Path(__file__).with_name("_native.c")
+_INF = float("inf")
+
+_state: Any = None
+_reason: Optional[str] = None
+_tried = False
+
+
+def load() -> Optional[Any]:
+    """The bound C module, building it on first use; None if unavailable."""
+    global _state, _reason, _tried
+    if _tried:
+        return _state
+    _tried = True
+    try:
+        _state = _build_and_bind()
+    except Exception as exc:  # noqa: BLE001 - any build failure means fallback
+        _reason = f"native kernel unavailable: {exc}"
+        _state = None
+    return _state
+
+
+def unavailable_reason() -> str:
+    """Why :func:`load` returned None (for kernel_fallback_reason)."""
+    return _reason or "native kernel not built"
+
+
+def _build_and_bind() -> Any:
+    source = _SOURCE.read_bytes()
+    digest = sha256(source).hexdigest()[:16]
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    cache_dir = Path(
+        os.environ.get("REPRO_NATIVE_CACHE")
+        or _SOURCE.parent / "_native_build"
+    )
+    so_path = cache_dir / f"_repro_native_{digest}{suffix}"
+    if not so_path.exists():
+        cc = os.environ.get("CC") or shutil.which("gcc") or shutil.which("cc")
+        if cc is None:
+            raise RuntimeError("no C compiler (gcc/cc) on PATH")
+        include = sysconfig.get_paths()["include"]
+        if not os.path.exists(os.path.join(include, "Python.h")):
+            raise RuntimeError(f"CPython headers not found under {include}")
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = cache_dir / f".{so_path.name}.{os.getpid()}.tmp"
+        cmd = [cc, "-O2", "-DNDEBUG", "-fPIC", "-shared",
+               f"-I{include}", str(_SOURCE), "-o", str(tmp)]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=120)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"{os.path.basename(cc)} failed: "
+                    f"{proc.stderr.strip()[:400]}"
+                )
+            os.replace(tmp, so_path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+    spec = importlib.util.spec_from_file_location("_repro_native", so_path)
+    if spec is None or spec.loader is None:
+        raise RuntimeError(f"cannot load extension from {so_path}")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    # Deferred import: this module is itself imported from
+    # Environment.__init__, so .environment is fully loaded by now.
+    from .environment import _TOTAL_EVENTS, Environment
+    from .events import POOLED, PROCESSED, Process, Timeout
+    mod._bind(Environment, Event, Process, Timeout, PROCESSED, POOLED,
+              SimulationError, _TOTAL_EVENTS)
+    return mod
+
+
+def run(env, until):
+    """Drive ``env`` with the C loops (python fallback when sanitizing)."""
+    if env._sanitize:
+        # The python loop carries the tie tallies and misuse traps.
+        return env._run_calendar(until)
+    mod = env._native_state
+    if until is None:
+        mod.run_limit(env, _INF)
+        return None
+    if isinstance(until, Event):
+        mod.run_target(env, until)
+        return until.value
+    limit = float(until)
+    if limit < env._now:
+        raise SimulationError("run(until=...) is in the past")
+    mod.run_limit(env, limit)
+    env._now = limit
+    return None

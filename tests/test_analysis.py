@@ -185,6 +185,18 @@ class TestK201Slots:
         """
         assert unwaived(source, "repro/sim/x.py") == []
 
+    def test_slotted_event_subclass_passes(self):
+        # The fused-fetch pattern (PR 9): an Event subclass that *is* its
+        # own completion event, slotted like the rest of the hierarchy.
+        source = """
+            class Fetch(Event):
+                __slots__ = ("server", "num_keys", "nbytes")
+                def __init__(self, env, server):
+                    super().__init__(env)
+                    self.server = server
+        """
+        assert unwaived(source, "repro/core/x.py") == []
+
     def test_module_waiver_covers_every_class(self):
         source = """
             # repro: allow-module K201 — frozen baseline copy
@@ -239,6 +251,18 @@ class TestK202TimeoutRetention:
         """
         assert unwaived(source, "repro/core/x.py") == []
 
+    def test_callback_chain_timeout_passes(self):
+        # The fused fetch chain drives timeouts from plain methods via
+        # ``callbacks.append`` — no generator ever retains one past its
+        # recycle point, so K202's retained-timeout analysis must not
+        # fire on the non-generator callback stages.
+        source = """
+            def _on_grant(self, _event):
+                service = self.env.timeout(0.5)
+                service.callbacks.append(self._on_service_end)
+        """
+        assert unwaived(source, "repro/core/x.py") == []
+
 
 class TestK203ProcessYields:
     def test_non_event_yields_flagged(self):
@@ -266,6 +290,19 @@ class TestK203ProcessYields:
         source = "def gen_process(env):\n    yield 42\n"
         assert unwaived(source, "repro/workloads/x.py") == []
         assert unwaived(source, "repro/storage/x.py") == ["K203"]
+
+    def test_direct_fetch_yield_passes(self):
+        # The batched gather yields its single fused fetch directly
+        # (the fetch *is* the completion event) instead of wrapping it
+        # in an AllOf; a subscripted event is still eventish to K203.
+        source = """
+            def gather_process(env, fetches):
+                if len(fetches) == 1:
+                    yield fetches[0]
+                else:
+                    yield env.all_of(fetches)
+        """
+        assert unwaived(source, "repro/sim/x.py") == []
 
 
 class TestS301UntimedMutation:
