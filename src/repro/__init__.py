@@ -30,6 +30,7 @@ cold-cache experiment harness the paper's figures are defined over.)
 """
 
 from .core import (
+    ChaosEvent,
     ClusterConfig,
     GRoutingCluster,
     GraphAssets,
@@ -43,6 +44,7 @@ from .core import (
     QuerySession,
     RandomWalkQuery,
     ReachabilityQuery,
+    TopologyConfig,
     UpdateReport,
     WorkloadReport,
     query_ids_from,
@@ -56,12 +58,14 @@ from .costs import (
     INFINIBAND,
     CostModel,
     NetworkModel,
+    SpeedProfiles,
 )
 from .graph import GraphUpdate
 
-__version__ = "1.4.0"
+__version__ = "1.7.0"
 
 __all__ = [
+    "ChaosEvent",
     "ClusterConfig",
     "CostModel",
     "DEFAULT_COSTS",
@@ -82,6 +86,8 @@ __all__ = [
     "QuerySession",
     "RandomWalkQuery",
     "ReachabilityQuery",
+    "SpeedProfiles",
+    "TopologyConfig",
     "UpdateReport",
     "WorkloadReport",
     "query_ids_from",

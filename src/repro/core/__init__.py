@@ -24,6 +24,7 @@ from .operators import (
 )
 from .placement import PlacementConfig, PlacementManager
 from .processor import QueryProcessor
+from .topology import ChaosEvent, ClusterTopology, TopologyConfig
 from .queries import (
     QUERY_CLASSES,
     KSourceReachabilityQuery,
@@ -65,7 +66,9 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "CacheStats",
+    "ChaosEvent",
     "ClusterConfig",
+    "ClusterTopology",
     "EmbedRouting",
     "GRoutingCluster",
     "GraphAssets",
@@ -97,6 +100,7 @@ __all__ = [
     "RoutingFeedback",
     "RoutingStrategy",
     "TenantAdmissionStats",
+    "TopologyConfig",
     "UnknownOperatorError",
     "UpdateReport",
     "UnknownQueryTypeError",

@@ -364,6 +364,36 @@ class WorkloadReport:
         mean = sum(counts) / len(counts)
         return max(counts) / mean if mean else 0.0
 
+    def downtime_windows(self) -> Dict[int, List[List[float]]]:
+        """Per-server outage windows ``[down_at, up_at]`` (``up_at`` None
+        while still down), from the servers' alive-transition logs. Empty
+        for fault-free runs — the keys exist only on servers that failed.
+        """
+        windows: Dict[int, List[List[float]]] = {}
+        for stats in self.per_server or []:
+            if "downtime_windows" in stats:
+                windows[int(stats["server"])] = list(
+                    stats["downtime_windows"]
+                )
+        return windows
+
+    def total_downtime_s(self) -> float:
+        """Summed simulated seconds any storage server spent down."""
+        return float(sum(
+            stats.get("downtime_s", 0.0) for stats in self.per_server or []
+        ))
+
+    def recovery_times_s(self) -> List[float]:
+        """Outage durations (down→up) of *completed* outages, in event
+        order across servers — the storage-side recovery metric the chaos
+        benchmark reports next to the latency-based one."""
+        durations: List[float] = []
+        for _server, windows in sorted(self.downtime_windows().items()):
+            for down, up in windows:
+                if up is not None:
+                    durations.append(up - down)
+        return durations
+
     def migration_bytes(self) -> int:
         """Bytes the placement subsystem copied between servers (0 when
         disabled). Itemized separately from query ``bytes_fetched`` and
@@ -390,6 +420,22 @@ class WorkloadReport:
                     s["utilization"] for s in self.per_server
                 ),
             })
+            downtime = self.total_downtime_s()
+            if any("downtime_s" in s for s in self.per_server):
+                # Fault-injected runs only: fault-free summaries keep
+                # their historical key set bit-for-bit.
+                recoveries = self.recovery_times_s()
+                summary.update({
+                    "storage_downtime_s": downtime,
+                    "storage_outages": sum(
+                        len(w) for w in self.downtime_windows().values()
+                    ),
+                    "storage_recoveries": len(recoveries),
+                    "mean_recovery_s": (
+                        sum(recoveries) / len(recoveries)
+                        if recoveries else 0.0
+                    ),
+                })
         if self.placement is not None:
             summary.update({
                 "migration_bytes": self.placement.get("migration_bytes", 0),

@@ -180,6 +180,11 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
                 entry = overlay.get(int(node))
                 if entry is not None:
                     sid = pick_read_replica(entry.replicas, tier.servers)
+            if tier.on_read_failure is not None \
+                    and not tier.servers[sid].alive:
+                # Demand repair: tell the topology layer which key this
+                # (about-to-fail) probe is blocked on.
+                tier.on_read_failure([int(node)])
             fetches = [_ServerFetch(processor, sid, 1, total_bytes)]
         else:
             owners = processor.owner_of[missed]
@@ -199,10 +204,17 @@ def gather_nodes(processor: "QueryProcessor", nodes: np.ndarray,
             counts = np.bincount(owners, minlength=num_servers)
             byte_sums = np.bincount(owners, weights=miss_sizes,
                                     minlength=num_servers)
+            touched = np.nonzero(counts)[0]
+            if tier.on_read_failure is not None:
+                for sid in touched.tolist():
+                    if not tier.servers[sid].alive:
+                        tier.on_read_failure(
+                            missed[owners == sid].tolist()
+                        )
             fetches = [
                 _ServerFetch(processor, int(sid), int(counts[sid]),
                              int(byte_sums[sid]))
-                for sid in np.nonzero(counts)[0]
+                for sid in touched
             ]
             total_bytes = int(byte_sums.sum())
         if count_in_stats:

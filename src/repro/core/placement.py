@@ -159,7 +159,15 @@ class PlacementManager:
         return delta
 
     def plan(self) -> List[_Move]:
-        """One bounded round of moves, hottest records first."""
+        """One bounded round of moves, hottest records first.
+
+        Plans against the *current* cluster epoch: departed (dead)
+        servers are never chosen as replication/migration targets, and
+        releases/restores whose hash home is down are deferred until it
+        recovers — the replicas keep serving reads meanwhile. With every
+        server alive the masking is a no-op and the plan is bit-identical
+        to the static-topology one.
+        """
         cfg = self.config
         now = self.env.now
         assets = self.service.assets
@@ -167,7 +175,13 @@ class PlacementManager:
         node_ids = assets.node_ids
         sizes = assets.record_sizes
         budget = cfg.round_byte_budget
+        alive = [server.alive for server in self.tier.servers]
         load = self._served_delta()
+        if not all(alive):
+            # Dead servers are infinitely loaded: argmin/argsort below
+            # never place a copy there, and a dead current holder always
+            # clears the migrate hysteresis (move the record off it).
+            load = np.where(np.asarray(alive), load, np.inf)
         moves: List[_Move] = []
 
         hot_idx, heats = self.heat.top_k(cfg.top_k, now, cfg.heat_threshold)
@@ -183,7 +197,8 @@ class PlacementManager:
                 want = min(cfg.replicas, self.tier.num_servers) - len(current)
                 order = np.argsort(load, kind="stable")
                 new = tuple(
-                    int(sid) for sid in order if int(sid) not in current
+                    int(sid) for sid in order
+                    if int(sid) not in current and alive[int(sid)]
                 )[:want]
                 if new and budget >= size * len(new):
                     budget -= size * len(new)
@@ -199,6 +214,7 @@ class PlacementManager:
                 best = int(np.argmin(load))
                 if (
                     best != holder
+                    and alive[best]
                     and budget >= size
                     and load[holder] > (1.0 + cfg.migrate_margin) * load[best]
                 ):
@@ -216,6 +232,10 @@ class PlacementManager:
                 if entry.key in planned:
                     continue
                 if self.heat.heat_of(entry.cache_key, now) >= floor:
+                    continue
+                if not alive[entry.home]:
+                    # The hash home is down: dropping the entry would
+                    # point reads at a dead server. Defer until recovery.
                     continue
                 size = int(sizes[entry.cache_key])
                 if entry.home in entry.replicas:

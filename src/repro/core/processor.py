@@ -8,10 +8,11 @@ how the router implements query stealing (§3.2, Requirement 2).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..costs import CostModel
 from ..sim import Environment, Store
+from ..storage.server import StorageServerDown
 from ..storage.tier import StorageTier
 from .assets import GraphAssets
 from .cache import ProcessorCache
@@ -53,12 +54,28 @@ class QueryProcessor:
         self.alive = True
         self.inbox: Store = Store(env)
         self._process = None
+        # Storage failover: retries against a down storage server. The
+        # default (0) preserves the historical fail-fast behaviour; the
+        # cluster topology layer raises it so in-flight queries ride out
+        # an outage by backing off until a replica surfaces or the server
+        # recovers.
+        self.storage_retry_limit = 0
+        self.storage_retry_backoff_s = 20.0e-6
+        self.storage_retry_backoff_cap_s = 500.0e-6
+        self.storage_retries = 0
 
     def start(self, router: "Router") -> None:
         """Begin the worker loop (idempotent per processor)."""
         if self._process is not None:
             raise RuntimeError("processor already started")
         self._process = self.env.process(self._run(router))
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        """The exception that killed this worker, if it crashed."""
+        if self._process is None:
+            return None
+        return self._process.failure
 
     def kill(self) -> None:
         """Fail the processor: it finishes nothing more (failure injection)."""
@@ -78,7 +95,25 @@ class QueryProcessor:
                 break
             started = self.env.now
             # Inline the executor generator: no sub-Process per query.
-            stats = yield from execute_query(self, query)
+            # Under failover (storage_retry_limit > 0) a fetch that hits a
+            # down server backs off exponentially and re-executes: the
+            # directory may have flipped to a live replica, or the server
+            # may have recovered, by the next attempt.
+            attempts = 0
+            while True:
+                try:
+                    stats = yield from execute_query(self, query)
+                    break
+                except StorageServerDown:
+                    attempts += 1
+                    if attempts > self.storage_retry_limit:
+                        raise
+                    self.storage_retries += 1
+                    backoff = min(
+                        self.storage_retry_backoff_s * (2.0 ** (attempts - 1)),
+                        self.storage_retry_backoff_cap_s,
+                    )
+                    yield self.env.timeout(backoff)
             finished = self.env.now
             self.queries_executed += 1
             self.busy_time += finished - started

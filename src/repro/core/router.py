@@ -316,7 +316,40 @@ class Router:
             if self.outstanding[other] is None:
                 self._dispatch(other)
 
-    # -- fault tolerance -------------------------------------------------------
+    # -- fault tolerance & elasticity ------------------------------------------
+    def alive_mask(self) -> List[bool]:
+        """Per-processor liveness, indexed like :attr:`processors`."""
+        return [processor.alive for processor in self.processors]
+
+    def add_processor(self, processor: QueryProcessor) -> int:
+        """Join a new processor: grow the queue/outstanding tables, start
+        its worker loop, and put it to work immediately.
+
+        The mechanical mirror of :meth:`remove_processor` — ids are
+        assigned densely and never reused, so the joiner must carry the
+        next id. Routing-table rebalance (bounded key movement) is the
+        *strategy's* job, driven by the topology layer via
+        :meth:`RoutingStrategy.on_membership_change`; without it the
+        joiner still drains the shared pool and steals, it just owns no
+        keys. Returns the joiner's processor id.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "cannot add a processor: router is shut down"
+            )
+        if processor.processor_id != self.num_processors:
+            raise ValueError(
+                f"joining processor must take the next id "
+                f"{self.num_processors}, got {processor.processor_id}"
+            )
+        self.processors.append(processor)
+        self.queues.append(deque())
+        self.outstanding.append(None)
+        processor.start(self)
+        # A joiner is idle by construction: give it queued work now.
+        self._dispatch(processor.processor_id)
+        return processor.processor_id
+
     def remove_processor(self, processor_id: int) -> int:
         """Drain a processor: no new dispatches; its queue redistributes.
 
@@ -324,8 +357,23 @@ class Router:
         the queued work simply moves to the shared pool. Returns how many
         queries were redistributed. An in-flight query finishes normally
         (graceful removal).
+
+        Removing the *last alive* processor while work is still pending
+        is refused loudly: the queued and pooled queries would otherwise
+        strand forever behind the submit-time liveness guard, with
+        nothing left to dispatch them.
         """
         processor = self.processors[processor_id]
+        if processor.alive and self.backlog() > 0 and not any(
+            other.alive
+            for other in self.processors
+            if other.processor_id != processor_id
+        ):
+            raise RuntimeError(
+                f"refusing to remove processor {processor_id}: it is the "
+                f"last alive processor and {self.backlog()} queries are "
+                "still pending; drain first or add a replacement"
+            )
         processor.alive = False
         moved = len(self.queues[processor_id])
         while self.queues[processor_id]:

@@ -456,6 +456,22 @@ class AdaptiveRouting(RoutingStrategy):
         self._last_arm = arm
         return arm.choose(query, loads)
 
+    def on_membership_change(
+        self, num_processors: int, alive: Sequence[bool]
+    ) -> int:
+        """Forward the topology change to every arm; learned state survives.
+
+        The per-(class, arm) score/latency EWMAs, pull counts, commitment
+        and audition schedule are all keyed by arm *name*, not processor
+        id, so none of it resets — the bandit keeps its ranking while each
+        arm rebalances its own table. Returns the total entries moved
+        across arms.
+        """
+        return sum(
+            self.arms[name].on_membership_change(num_processors, alive)
+            for name in self._arm_names
+        )
+
     # -- hooks ----------------------------------------------------------------
     def on_dispatch(self, query: Query, processor: int) -> None:
         # Every arm's internal model (e.g. the embed EMA tracker) follows the

@@ -86,6 +86,24 @@ class RoutingStrategy(ABC):
         """Simulated router time to make one decision."""
         return BASE_DECISION_TIME
 
+    def on_membership_change(
+        self, num_processors: int, alive: Sequence[bool]
+    ) -> int:
+        """The processing tier changed shape: rebalance routing state.
+
+        ``num_processors`` is the new processor count (monotonically
+        non-decreasing — removed processors keep their slot with
+        ``alive[p]`` False). Strategies with per-processor tables move
+        the *bounded minimum* of keys: only keys whose owner departed, or
+        the fair share handed to a joiner. Returns how many table entries
+        (hash slots, landmark-index nodes) changed owner, so the caller
+        can report bounded key movement. The default is a no-op: a
+        strategy with no per-processor state (next-ready pooling) routes
+        correctly by construction — the router never dispatches to a dead
+        processor and pools work for unknown targets.
+        """
+        return 0
+
     def load_penalty(self, loads: Sequence[int], load_factor: float):
         """Eq. 3/7 second term for every processor."""
         return [load / load_factor for load in loads]

@@ -56,6 +56,8 @@ class EmbedRouting(RoutingStrategy):
         )
         self.staleness = staleness
         self.fallbacks = 0
+        # Elastic membership: None until the first membership change.
+        self._alive: Optional[np.ndarray] = None
 
     def _anchor_point(self, keys: Sequence[int]) -> Optional[np.ndarray]:
         """Embedding point for the anchor set: coords, or their centroid.
@@ -85,6 +87,11 @@ class EmbedRouting(RoutingStrategy):
             return keys[0] % self.num_processors
         distances = self.tracker.distances(coords)
         balanced = distances + np.asarray(loads, dtype=np.float64) / self.load_factor
+        if self._alive is not None:
+            balanced = np.where(self._alive[: len(balanced)], balanced, np.inf)
+            if not np.isfinite(balanced).any():
+                self.fallbacks += 1
+                return keys[0] % self.num_processors
         return int(np.argmin(balanced))
 
     def on_dispatch(self, query: Query, processor: int) -> None:
@@ -98,3 +105,20 @@ class EmbedRouting(RoutingStrategy):
         return BASE_DECISION_TIME + (
             PER_ENTRY_DECISION_TIME * num_processors * self.embedding.dim
         )
+
+    def on_membership_change(
+        self, num_processors: int, alive: Sequence[bool]
+    ) -> int:
+        """Grow the EMA tracker for joiners and mask departed processors.
+
+        No keys move: embed routing has no ownership table — assignments
+        follow the per-processor means, and a joiner's centroid-seeded
+        mean (see :meth:`ProcessorEMATracker.add_processor`) starts
+        attracting traffic immediately, while Eq. 7's load term keeps the
+        shift gradual.
+        """
+        while self.tracker.num_processors < num_processors:
+            self.tracker.add_processor()
+        self.num_processors = num_processors
+        self._alive = np.asarray(alive, dtype=bool)
+        return 0

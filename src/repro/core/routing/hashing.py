@@ -7,11 +7,23 @@ stealing at the router provides the load balancing (Eq. 1 discussion).
 Multi-anchor queries (several routing keys) go to the processor that owns
 the *plurality* of their anchors' hash slots, so a batch lands where most
 of its per-anchor repeat locality already lives.
+
+Elastic membership
+------------------
+
+A static cluster routes with the bare modulo above. The first membership
+change (:meth:`~HashRouting.on_membership_change`) materialises a **slot
+table**: ``SLOTS_PER_PROCESSOR`` virtual slots per original processor,
+initialised ``slots[s] = s % P`` so the table reproduces the modulo
+bit-for-bit, then rebalanced with *bounded movement* — a joiner takes an
+equal share of slots from the most-loaded owners, a leaver's slots spread
+over the survivors, and every other key keeps its owner (the consistent-
+hashing property the paper's static modulo lacks).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..operators.registry import routing_keys
 from ..queries import Query
@@ -21,20 +33,95 @@ from .base import BASE_DECISION_TIME, RoutingStrategy
 class HashRouting(RoutingStrategy):
     name = "hash"
 
+    #: Virtual slots per (original) processor once the table materialises.
+    #: More slots = finer rebalancing granularity; the table stays a few
+    #: hundred ints for any realistic cluster.
+    SLOTS_PER_PROCESSOR = 16
+
     def __init__(self, num_processors: int) -> None:
         if num_processors < 1:
             raise ValueError("need at least one processor")
         self.num_processors = num_processors
+        #: None until the first membership change: the static cluster
+        #: routes with the bare modulo (bit-identical to the paper's rule).
+        self._slots: Optional[List[int]] = None
+
+    def _owner(self, key: int) -> int:
+        if self._slots is None:
+            return key % self.num_processors
+        return self._slots[key % len(self._slots)]
 
     def choose(self, query: Query, _loads: Sequence[int]) -> Optional[int]:
         keys = routing_keys(query)
         if len(keys) == 1:
-            return keys[0] % self.num_processors
+            return self._owner(keys[0])
         votes = [0] * self.num_processors
         for key in keys:
-            votes[key % self.num_processors] += 1
+            votes[self._owner(key)] += 1
         # Plurality, ties broken deterministically by lowest index.
         return max(range(self.num_processors), key=lambda p: (votes[p], -p))
 
     def decision_time(self, _num_processors: int) -> float:
         return BASE_DECISION_TIME
+
+    # -- elastic membership --------------------------------------------------
+    def owner_table(self) -> List[int]:
+        """Current slot→processor table (materialising it if needed).
+
+        Exposed for the topology layer's totality checks: every slot must
+        name exactly one processor, and after a rebalance every named
+        processor is alive.
+        """
+        if self._slots is None:
+            base = self.num_processors
+            self._slots = [
+                s % base for s in range(base * self.SLOTS_PER_PROCESSOR)
+            ]
+        return self._slots
+
+    def on_membership_change(
+        self, num_processors: int, alive: Sequence[bool]
+    ) -> int:
+        """Rebalance the slot table; returns how many slots moved.
+
+        Movement is the bounded minimum: slots owned by departed
+        processors *must* move; beyond that only the excess above the new
+        fair share (ceil of slots / alive processors) moves, so a join
+        relocates ~1/(P+1) of the keyspace and a leave relocates exactly
+        the leaver's share.
+        """
+        if num_processors < self.num_processors:
+            raise ValueError("processor ids are never reused; the count "
+                             "cannot shrink (removed ones stay dead)")
+        slots = self.owner_table()
+        self.num_processors = num_processors
+        alive_ids = [p for p in range(num_processors) if alive[p]]
+        if not alive_ids:
+            # Nothing to rebalance toward; the router pools everything.
+            return 0
+        counts = [0] * num_processors
+        homeless: List[int] = []
+        for index, owner in enumerate(slots):
+            if owner < num_processors and alive[owner]:
+                counts[owner] += 1
+            else:
+                homeless.append(index)
+        ceil_share = -(-len(slots) // len(alive_ids))
+        # Shed the excess above the fair share, highest slot index first
+        # (deterministic, and it leaves each owner's low slots — the ones
+        # longest-lived in its cache — in place).
+        for index in range(len(slots) - 1, -1, -1):
+            owner = slots[index]
+            if owner < num_processors and alive[owner] and \
+                    counts[owner] > ceil_share:
+                counts[owner] -= 1
+                homeless.append(index)
+        moved = 0
+        # Hand the pool to the least-loaded alive owners, lowest id first.
+        for index in sorted(homeless):
+            target = min(alive_ids, key=lambda p: (counts[p], p))
+            counts[target] += 1
+            if slots[index] != target:
+                slots[index] = target
+                moved += 1
+        return moved

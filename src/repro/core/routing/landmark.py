@@ -47,6 +47,12 @@ class LandmarkRouting(RoutingStrategy):
         self.load_factor = load_factor
         self.staleness = staleness
         self.fallbacks = 0  # queries routed without landmark information
+        # Elastic membership: None until the first membership change (the
+        # static fast path); then a bool mask over processor ids. The
+        # index is cloned before its groups are rebalanced, because the
+        # assets-memoized instance may be shared across services.
+        self._alive: Optional[np.ndarray] = None
+        self._owns_index = False
 
     def _anchor_distances(self, keys: Sequence[int]) -> Optional[np.ndarray]:
         """Per-processor distance row for the anchor set, or None.
@@ -82,8 +88,31 @@ class LandmarkRouting(RoutingStrategy):
             self.fallbacks += 1
             return keys[0] % num_processors
         balanced = distances + np.asarray(loads, dtype=np.float64) / self.load_factor
+        if self._alive is not None:
+            balanced = np.where(self._alive[: len(balanced)], balanced, np.inf)
+            if not np.isfinite(balanced).any():
+                # Every alive processor is infinitely far (its landmarks
+                # all live on dead processors' groups — transient between
+                # membership change and rebalance): hash fallback.
+                self.fallbacks += 1
+                return keys[0] % num_processors
         return int(np.argmin(balanced))
 
     def decision_time(self, num_processors: int) -> float:
         # O(P): scan the precomputed distance row once.
         return BASE_DECISION_TIME + PER_ENTRY_DECISION_TIME * num_processors
+
+    def on_membership_change(
+        self, num_processors: int, alive: Sequence[bool]
+    ) -> int:
+        """Rebalance the landmark groups (bounded movement) + mask dead.
+
+        The index is cloned on the first change so the assets-memoized
+        instance shared by other services stays static.
+        """
+        if not self._owns_index:
+            self.index = self.index.clone()
+            self._owns_index = True
+        moved = self.index.reassign_processors(num_processors, alive)
+        self._alive = np.asarray(alive, dtype=bool)
+        return moved

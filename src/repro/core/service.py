@@ -47,15 +47,16 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
-from ..costs import DEFAULT_COSTS, CostModel
+from ..costs import DEFAULT_COSTS, CostModel, SpeedProfiles
 from ..graph.digraph import Graph
 from ..graph.updates import GraphUpdate
-from ..sim import Environment
+from ..sim import Environment, SimulationError
 from ..storage.tier import StorageTier
 from .admission import AdmissionConfig, AdmissionController, AdmissionStats
 from .assets import GraphAssets
 from .metrics import QueryRecord, WorkloadReport
 from .placement import PlacementConfig, PlacementManager
+from .topology import ClusterTopology, TopologyConfig
 
 if TYPE_CHECKING:  # annotation only: workloads imports core, not vice versa
     from ..workloads.open_loop import Arrival
@@ -81,6 +82,7 @@ ROUTING_CHOICES = (
 STRUCTURAL_FIELDS = frozenset({
     "num_processors", "num_storage_servers", "cache_capacity_bytes",
     "cache_policy", "costs", "steal", "materialize_storage", "placement",
+    "speed_profiles", "topology",
 })
 
 
@@ -129,6 +131,16 @@ class ClusterConfig:
     #: None (the default) builds none of it: the storage tier behaves
     #: exactly as plain MurmurHash partitioning, bit-for-bit.
     placement: Optional[PlacementConfig] = None
+    # -- elastic-topology knobs --------------------------------------------------
+    #: Enable the elastic-topology layer (live join/leave, storage
+    #: failover + repair, chaos schedules — see :mod:`repro.core.topology`).
+    #: None builds none of it; an attached-but-idle topology is inert
+    #: (bit-identical to a service without one).
+    topology: Optional[TopologyConfig] = None
+    #: Heterogeneous hardware: per-processor / per-server relative speed
+    #: multipliers (see :class:`~repro.costs.SpeedProfiles`). None = the
+    #: paper's homogeneous testbed, bit-for-bit.
+    speed_profiles: Optional[SpeedProfiles] = None
 
     def with_routing(self, routing: str) -> "ClusterConfig":
         return replace(self, routing=routing)
@@ -179,6 +191,16 @@ class GraphService:
             num_servers=self.config.num_storage_servers,
             service_model=self.config.costs.storage,
         )
+        if self.config.speed_profiles is not None:
+            # Heterogeneous storage hardware: scale each server's service
+            # model in place (speed 2.0 = every cost halved). Processors
+            # get theirs via _processor_costs below.
+            for server in self.tier.servers:
+                speed = self.config.speed_profiles.storage_speed(
+                    server.server_id
+                )
+                if speed != 1.0:
+                    server.service = server.service.scaled(speed)
         if self.config.materialize_storage:
             self.tier.load_graph(self.assets.graph)
         use_cache = self.config.routing != "no_cache"
@@ -188,7 +210,7 @@ class GraphService:
                 processor_id=i,
                 tier=self.tier,
                 assets=self.assets,
-                costs=self.config.costs,
+                costs=self._processor_costs(i),
                 cache_capacity_bytes=self.config.cache_capacity_bytes,
                 cache_policy=self.config.cache_policy,
                 use_cache=use_cache,
@@ -210,8 +232,25 @@ class GraphService:
         if self.config.placement is not None:
             self.placement = PlacementManager(self, self.config.placement)
             self.placement.start()
+        # Elastic topology: membership epochs, failover + repair, chaos
+        # schedules. Built after placement so it can share the directory;
+        # an attached-but-idle topology is inert (the parity tests pin
+        # bit-identical replay against a service without one).
+        self.topology: Optional[ClusterTopology] = None
+        if self.config.topology is not None:
+            self.topology = ClusterTopology(self, self.config.topology)
         self._active_session: Optional["QuerySession"] = None
         self._closed = False
+
+    def _processor_costs(self, processor_id: int) -> CostModel:
+        """Per-processor cost model under heterogeneous speed profiles."""
+        cfg = self.config
+        if cfg.speed_profiles is None:
+            return cfg.costs
+        speed = cfg.speed_profiles.processor_speed(processor_id)
+        if speed == 1.0:
+            return cfg.costs
+        return replace(cfg.costs, compute=cfg.costs.compute.scaled(speed))
 
     @classmethod
     def open(
@@ -401,7 +440,24 @@ class GraphService:
     def drain(self) -> None:
         """Run the simulation until no submitted query remains in flight."""
         while self.router.backlog() > 0:
-            self.env.run(until=self.router.done)
+            try:
+                self.env.run(until=self.router.done)
+            except SimulationError as exc:
+                self._raise_worker_crash(exc)
+
+    def _raise_worker_crash(self, cause: SimulationError) -> None:
+        """Re-raise a crashed worker's root cause instead of a deadlock.
+
+        A processor worker that dies (e.g. :class:`StorageServerDown`
+        with failover off) has no waiter, so its exception is stored on
+        the process and the event loop simply runs dry. Surface the real
+        error; if no worker crashed, the stall is genuine — re-raise it.
+        """
+        for processor in self.processors:
+            failure = processor.failure
+            if failure is not None:
+                raise failure from cause
+        raise cause
 
     def close(self, drain: bool = True) -> None:
         """Drain outstanding work, then refuse all further submissions.
@@ -457,6 +513,11 @@ class GraphService:
         which records are currently hottest on each. Heat pairs are
         ``(node_id, decayed_heat)``; the list is empty when placement is
         disabled.
+
+        Servers that failed at any point additionally report their
+        downtime windows and recovery state (keys present only when a
+        transition happened, so fault-free runs keep their historical
+        dict shape bit-for-bit).
         """
         elapsed = self.env.now
         heat = (
@@ -464,8 +525,9 @@ class GraphService:
             if self.placement is not None
             else [[] for _ in self.tier.servers]
         )
-        return [
-            {
+        stats = []
+        for server in self.tier.servers:
+            row = {
                 "server": server.server_id,
                 "requests_served": server.requests_served,
                 "keys_served": server.keys_served,
@@ -477,8 +539,20 @@ class GraphService:
                 "utilization": server.utilization(elapsed),
                 "top_heat": heat[server.server_id],
             }
-            for server in self.tier.servers
-        ]
+            if server.alive_transitions:
+                windows = server.downtime_windows()
+                row["downtime_windows"] = [
+                    [down, up] for down, up in windows
+                ]
+                row["downtime_s"] = sum(
+                    (elapsed if up is None else up) - down
+                    for down, up in windows
+                )
+                row["recovered"] = bool(
+                    windows and windows[-1][1] is not None
+                ) or not windows
+            stats.append(row)
+        return stats
 
 
 class QuerySession:
@@ -683,6 +757,8 @@ class QuerySession:
         origin = env.now
         tag = self._tag
 
+        updates = self.service.updates
+
         def drive():
             last = None
             for arrival in arrivals:
@@ -697,6 +773,15 @@ class QuerySession:
                 delay = origin + at - env.now
                 if delay > 0:
                     yield env.timeout(delay)
+                if isinstance(arrival.query, GraphUpdate):
+                    # Mixed open-loop streams (e.g. churn_stream through
+                    # poisson_arrivals) carry graph mutations between
+                    # queries. Updates bypass admission — they are not
+                    # sheddable work — and apply inline, so the driver
+                    # back-pressures on the write path exactly as stream()
+                    # does in closed loop.
+                    yield from updates.apply_process([arrival.query])
+                    continue
                 controller.offer(tag(arrival.query), arrival.tenant)
 
         try:
@@ -707,6 +792,8 @@ class QuerySession:
                 if router.backlog() == 0 and controller.pump() == 0:
                     break  # defensive: nothing in flight, nothing releasable
                 env.run(until=router.done)
+        except SimulationError as exc:
+            self.service._raise_worker_crash(exc)
         finally:
             controller.detach()
         stats = controller.stats()
@@ -797,7 +884,9 @@ class QuerySession:
         report = WorkloadReport(
             records=records,
             makespan=ended_at - self.started_at,
-            num_processors=config.num_processors,
+            # The router's live count, not the config's: join/leave can
+            # change membership mid-session (identical when it didn't).
+            num_processors=self.router.num_processors,
             num_storage_servers=config.num_storage_servers,
             routing=config.routing,
             # Admission outcome of this session's open-loop serve, if any

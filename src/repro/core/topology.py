@@ -1,0 +1,666 @@
+"""Elastic cluster topology: membership epochs, failover and repair.
+
+The paper's experiments fix the deployment before any query runs (§4.1:
+7 query processors, 4 storage servers) and every earlier layer of this
+reproduction inherited that static-membership assumption. Real decoupled
+deployments are elastic — the *point* of separating compute from storage
+(§2.3) is that either tier can grow, shrink or fail independently of the
+other. This module is the one place that knows how to change membership
+on a **live** service, and what every other layer must do when it does:
+
+* **processing tier** — :meth:`ClusterTopology.add_processor` builds a
+  cold-cache worker (optionally on heterogeneous hardware via
+  :class:`~repro.costs.SpeedProfiles`), registers it with the router
+  (:meth:`~repro.core.router.Router.add_processor`) and drives the
+  routing strategy's :meth:`~repro.core.routing.base.RoutingStrategy.on_membership_change`
+  hook, which rebalances ownership tables with *bounded key movement* —
+  only entries whose owner actually changed move (hash slots shed to the
+  joiner, landmark groups re-pooled, embed means grown).
+  :meth:`remove_processor` is the mirror: the router re-queues the
+  departed worker's backlog and the strategy stops routing to it.
+
+* **storage tier** — :meth:`fail_server` / :meth:`recover_server` flip a
+  server's liveness (recorded as downtime windows for the reports) and,
+  when ``failover`` is on, run a **repair loop** in simulated time:
+  records whose every copy is on dead servers are re-written from the
+  authoritative graph onto live servers through the same write pipelines
+  queries fetch from, with directory entries flipping at the landing
+  instant exactly like dynamic placement's migrations. Reads meanwhile
+  serve from any live replica (:func:`~repro.storage.placement.pick_read_replica`)
+  and in-flight queries that hit a dead server back off and retry
+  (:class:`~repro.core.processor.QueryProcessor` retry knobs, armed by
+  this layer). When the failed server returns, repair **fails back**:
+  fresh bytes are written home and the directory exceptions drop, so a
+  healed cluster converges to plain hash placement.
+
+Every membership operation bumps :attr:`ClusterTopology.epoch` and logs
+an event — the chaos benchmark's provenance trail. A topology that never
+changes is inert by construction: the directory it attaches is empty
+(every tier lookup guards on emptiness), the repair loop is never
+spawned, and an empty :meth:`schedule` starts no process, so a service
+with an idle topology replays **bit-identically** to one without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.placement import PlacementDirectory
+from ..storage.records import record_for_node
+from ..storage.server import StorageServerDown
+from .processor import QueryProcessor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .service import GraphService
+
+#: Chaos-schedule actions understood by :meth:`ClusterTopology.schedule`.
+CHAOS_ACTIONS = (
+    "add_processor", "remove_processor", "fail_server", "recover_server",
+)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Knobs of the elastic-topology layer.
+
+    Attaching a ``TopologyConfig`` to a :class:`ClusterConfig` builds the
+    topology manager but changes nothing until a membership operation
+    runs — the defaults are calibrated to the storage service times (µs
+    scale), like every other simulated cost in the repo.
+    """
+
+    #: Re-replicate lost records and fail back after recovery. Off = the
+    #: ablation: failures surface as errors and nothing heals.
+    failover: bool = True
+    #: Live copies the repair loop restores per lost record.
+    replication: int = 1
+    #: Simulated seconds between repair rounds.
+    repair_interval_s: float = 0.002
+    #: Copied bytes allowed per repair round (bounded, like placement's
+    #: round budget — repair traffic queues behind live queries).
+    repair_byte_budget: int = 256 << 10
+    #: Storage retries per query before StorageServerDown surfaces
+    #: (armed on every processor when ``failover`` is on; 0 = fail fast).
+    retry_limit: int = 8
+    #: Initial retry backoff (doubles per attempt, simulated seconds).
+    retry_backoff_s: float = 20.0e-6
+    #: Backoff ceiling.
+    retry_backoff_cap_s: float = 500.0e-6
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled membership change at an absolute simulated instant.
+
+    ``target`` is a server id for ``fail_server`` / ``recover_server``, a
+    processor id for ``remove_processor``, and ignored for
+    ``add_processor`` (ids are dense — the joiner takes the next one).
+    """
+
+    at: float
+    action: str
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"choose from {CHAOS_ACTIONS}"
+            )
+        if self.at < 0:
+            raise ValueError("chaos events need a non-negative time")
+        if self.action != "add_processor" and self.target is None:
+            raise ValueError(f"{self.action} needs a target id")
+
+
+class ClusterTopology:
+    """Membership-epoch manager for one live :class:`GraphService`."""
+
+    def __init__(
+        self, service: "GraphService", config: Optional[TopologyConfig] = None
+    ) -> None:
+        self.service = service
+        self.config = config or TopologyConfig()
+        self.env = service.env
+        self.tier = service.tier
+        #: Monotonic membership epoch; bumped by every join/leave/fail/
+        #: recover. Strategies rebalance against the epoch's alive set.
+        self.epoch = 0
+        #: Event log: one dict per membership change (provenance for the
+        #: chaos benchmark's artifacts).
+        self.events: List[Dict[str, object]] = []
+        # Cumulative counters.
+        self.moved_entries = 0
+        self.write_failures = 0
+        self.repair_rounds = 0
+        self.repair_records = 0
+        self.repair_bytes = 0
+        self.failbacks = 0
+        #: Keys the repair loop placed onto substitutes because their hash
+        #: home died: ``key -> home``. Failed back (and removed) once the
+        #: home recovers. Placement-directory entries that predate the
+        #: failure stay owned by the placement loop.
+        self._failover_keys: Dict[int, int] = {}
+        #: Join-time baselines for cold-cache warmup accounting.
+        self._joined: Dict[int, float] = {}
+        #: Keys whose update write may have lost every copy to a dead
+        #: server (``key -> cache_key``): re-written from the
+        #: authoritative graph by the next repair rounds.
+        self._suspect_writes: Dict[int, int] = {}
+        #: Demand-repair queue (cache keys, insertion-ordered): what live
+        #: reads are blocked on *right now*, fed by the gather path via
+        #: :attr:`StorageTier.on_read_failure`. Serviced ahead of the
+        #: linear lost-key scan — at full scale a dead server holds far
+        #: more records than one outage's repair bandwidth, and repairing
+        #: them in index order would leave hot keys stalled for the whole
+        #: outage.
+        self._demand: Dict[int, bool] = {}
+        self.demand_repairs = 0
+        self._repair_process = None
+        # The directory is the shared source of truth for "where does a
+        # key live right now"; reuse dynamic placement's when it exists so
+        # repair and placement never disagree, else attach a fresh (empty
+        # ⇒ zero-cost) one. The heat hook is left as-is: repair does not
+        # need it, placement owns it.
+        if service.placement is not None:
+            self.directory = service.placement.directory
+        else:
+            self.directory = PlacementDirectory()
+            self.tier.directory = self.directory
+        for processor in service.processors:
+            self._arm_retries(processor)
+        if self.config.failover:
+            self.tier.on_read_failure = self._note_read_failure
+
+    def _note_read_failure(self, cache_keys: List[int]) -> None:
+        """A read wave is about to hit a dead server: queue its keys for
+        priority repair (the reader meanwhile backs off and retries)."""
+        demand = self._demand
+        before = len(demand)
+        for idx in cache_keys:
+            demand[int(idx)] = True
+        if len(demand) != before:
+            self._ensure_repair()
+
+    # -- retry arming ---------------------------------------------------------
+    def _arm_retries(self, processor: QueryProcessor) -> None:
+        """Apply the config's retry knobs (topology present = armed).
+
+        Retries are orthogonal to ``failover``: the no-failover ablation
+        still backs off and re-attempts — it just never gets a repaired
+        replica to land on, so it stalls until the server itself returns
+        (or exhausts ``retry_limit`` and surfaces the error).
+        """
+        cfg = self.config
+        processor.storage_retry_limit = cfg.retry_limit
+        processor.storage_retry_backoff_s = cfg.retry_backoff_s
+        processor.storage_retry_backoff_cap_s = cfg.retry_backoff_cap_s
+
+    # -- processing-tier membership ------------------------------------------
+    def add_processor(self, speed: Optional[float] = None) -> int:
+        """Join a cold-cache processor at the next dense id; returns the id.
+
+        ``speed`` overrides the config's
+        :class:`~repro.costs.SpeedProfiles` entry for the new id (1.0 =
+        baseline hardware). The routing strategy rebalances immediately —
+        bounded movement, so only the joiner's share of keys moves — but
+        the joiner earns traffic with an empty cache: the warmup cost is
+        visible in :meth:`warmup_stats` and in the chaos benchmark's
+        post-join window.
+        """
+        service = self.service
+        cfg = service.config
+        router = service.router
+        pid = router.num_processors
+        if speed is None:
+            profiles = cfg.speed_profiles
+            speed = (
+                profiles.processor_speed(pid) if profiles is not None else 1.0
+            )
+        costs = cfg.costs
+        if speed != 1.0:
+            costs = replace(costs, compute=costs.compute.scaled(speed))
+        processor = QueryProcessor(
+            self.env,
+            processor_id=pid,
+            tier=self.tier,
+            assets=service.assets,
+            costs=costs,
+            cache_capacity_bytes=cfg.cache_capacity_bytes,
+            cache_policy=cfg.cache_policy,
+            use_cache=cfg.routing != "no_cache",
+        )
+        # Live updates re-point this array on every applied batch; a
+        # processor built later must start from the current one.
+        processor.owner_of = service.assets.owner_array(self.tier.num_servers)
+        self._arm_retries(processor)
+        service.processors.append(processor)
+        router.add_processor(processor)
+        moved = service.strategy.on_membership_change(
+            router.num_processors, router.alive_mask()
+        )
+        self._joined[pid] = self.env.now
+        self._record("add_processor", pid, moved)
+        return pid
+
+    def remove_processor(self, processor_id: int) -> int:
+        """Leave/kill a processor; its backlog re-queues to the survivors.
+
+        Returns how many queued queries moved to the shared pool (the
+        router's count). Refuses to strand work: removing the last alive
+        processor with a backlog raises (see
+        :meth:`~repro.core.router.Router.remove_processor`).
+        """
+        service = self.service
+        router = service.router
+        requeued = router.remove_processor(processor_id)
+        moved = service.strategy.on_membership_change(
+            router.num_processors, router.alive_mask()
+        )
+        self._record("remove_processor", processor_id, moved, requeued=requeued)
+        return requeued
+
+    # -- storage-tier membership ----------------------------------------------
+    def fail_server(self, server_id: int) -> None:
+        """Kill a storage server; with failover on, start repairing."""
+        server = self.tier.servers[server_id]
+        if not server.alive:
+            return
+        server.fail()
+        self._record("fail_server", server_id, 0)
+        if self.config.failover:
+            self._ensure_repair()
+
+    def recover_server(self, server_id: int) -> None:
+        """Revive a storage server; with failover on, fail back to it."""
+        server = self.tier.servers[server_id]
+        if server.alive:
+            return
+        server.recover()
+        self._record("recover_server", server_id, 0)
+        if self.config.failover:
+            self._ensure_repair()
+
+    # -- chaos schedules -------------------------------------------------------
+    def schedule(self, events: Sequence[ChaosEvent]) -> None:
+        """Run a deterministic fault/join schedule at absolute sim times.
+
+        An **empty** schedule starts no process and leaves the simulation
+        event stream untouched — the bit-identical baseline the parity
+        tests pin. Events at equal instants apply in the given order.
+        """
+        pending = sorted(events, key=lambda event: event.at)
+        if not pending:
+            return
+        self.env.process(self._run_schedule(pending))
+
+    def _run_schedule(self, events: List[ChaosEvent]):
+        for event in events:
+            delay = event.at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.apply_event(event)
+
+    def apply_event(self, event: ChaosEvent) -> None:
+        """Apply one chaos event now (the schedule runner's dispatcher)."""
+        if event.action == "add_processor":
+            self.add_processor()
+        elif event.action == "remove_processor":
+            self.remove_processor(int(event.target))  # type: ignore[arg-type]
+        elif event.action == "fail_server":
+            self.fail_server(int(event.target))  # type: ignore[arg-type]
+        else:  # recover_server (validated in ChaosEvent)
+            self.recover_server(int(event.target))  # type: ignore[arg-type]
+
+    # -- repair / re-replication ----------------------------------------------
+    def _ensure_repair(self) -> None:
+        if self._repair_process is None:
+            self._repair_process = self.env.process(self._repair_loop())
+
+    def _repair_loop(self):
+        """Periodic repair rounds until a round finds nothing to do.
+
+        New work only arises from fail/recover events, and those re-spawn
+        the loop — so exiting on an idle round never strands work.
+        """
+        while True:
+            yield self.env.timeout(self.config.repair_interval_s)
+            self.repair_rounds += 1
+            worked = yield from self._repair_round()
+            if not worked:
+                break
+        self._repair_process = None
+
+    def _repair_round(self):
+        """One bounded round: prune dead replicas, re-replicate lost
+        records, fail back recovered homes. Returns whether any work was
+        done or remains (budget exhaustion keeps the loop alive)."""
+        service = self.service
+        tier = self.tier
+        cfg = self.config
+        alive = [server.alive for server in tier.servers]
+        live_sids = [sid for sid, up in enumerate(alive) if up]
+        if not live_sids:
+            return True  # nowhere to write yet; keep waiting for a recover
+        assets = service.assets
+        sizes = assets.record_sizes
+        node_ids = assets.node_ids
+        owner_of = assets.owner_array(tier.num_servers)
+        copies = max(1, min(cfg.replication, len(live_sids)))
+        budget = cfg.repair_byte_budget
+        exhausted = False
+
+        # (key, cache_key, home, targets) records to (re-)write.
+        plan: List[Tuple[int, int, int, Tuple[int, ...]]] = []
+        failbacks: List[Tuple[int, int, int]] = []
+        # (key, cache_key, live holders) suspect-update re-writes.
+        rewrites: List[Tuple[int, int, Tuple[int, ...]]] = []
+
+        # 0. Re-write suspect update casualties wherever they live now:
+        # a tolerated write failure may have left a (now-recovered)
+        # holder with pre-update bytes; the graph is authoritative.
+        for key in sorted(self._suspect_writes):
+            idx = self._suspect_writes[key]
+            holders = tuple(
+                sid for sid in tier.replica_sids(key) if alive[sid]
+            )
+            if not holders:
+                continue  # still homeless; the lost-key pass covers it
+            size = int(sizes[idx])
+            # The first item of a round is always admitted (even over
+            # budget) so a budget below one record still makes progress.
+            if budget < size * len(holders) and rewrites:
+                exhausted = True
+                break
+            budget -= size * len(holders)
+            rewrites.append((key, idx, holders))
+
+        # 1. Fail back repair-placed keys whose hash home returned.
+        for key in sorted(self._failover_keys):
+            entry = self.directory.by_key.get(key)
+            if entry is None:
+                del self._failover_keys[key]  # released elsewhere meanwhile
+                continue
+            if not alive[entry.home]:
+                continue
+            size = int(sizes[entry.cache_key])
+            if budget < size and (rewrites or failbacks):
+                exhausted = True
+                break
+            budget -= size
+            failbacks.append((key, entry.cache_key, entry.home))
+
+        # 2. Demand repairs: the cache keys live reads are blocked on
+        # *right now* (fed by the gather path). Serviced before the
+        # directory sweep and the linear scan — a dead server can hold
+        # far more records than one outage's repair bandwidth, and
+        # index-order repair would leave exactly the hot ones stalled.
+        planned_keys = {key for key, _c, _h in failbacks}
+        demand_planned: set = set()
+        for idx in list(self._demand):
+            if idx >= len(node_ids):
+                del self._demand[idx]  # node vanished from the asset map
+                continue
+            key = int(node_ids[idx])
+            entry = self.directory.by_key.get(key)
+            if entry is not None:
+                if any(alive[sid] for sid in entry.replicas):
+                    del self._demand[idx]  # a live replica surfaced
+                    continue
+                home = entry.home
+            else:
+                home = int(owner_of[idx])
+                if alive[home]:
+                    del self._demand[idx]  # its server recovered
+                    continue
+            if key in planned_keys:
+                del self._demand[idx]
+                continue
+            size = int(sizes[idx])
+            if budget < size * copies and (rewrites or failbacks or plan):
+                exhausted = True  # key stays queued for the next round
+                break
+            budget -= size * copies
+            del self._demand[idx]
+            targets = self._pick_targets(live_sids, copies, len(plan))
+            plan.append((key, idx, home, targets))
+            planned_keys.add(key)
+            demand_planned.add(key)
+            self.demand_repairs += 1
+
+        # 3. Directory entries: prune dead replicas; fully-lost entries
+        # get fresh copies (placement-made entries stay placement-owned
+        # afterwards — only their liveness is restored here).
+        for entry in self.directory.entries():
+            live = tuple(sid for sid in entry.replicas if alive[sid])
+            if live:
+                for sid in entry.replicas:
+                    if not alive[sid]:
+                        self.directory.drop_replica(entry.key, sid)
+                continue
+            if entry.key in planned_keys:
+                continue
+            size = int(sizes[entry.cache_key])
+            want = max(0, copies)
+            if budget < size * want and (rewrites or failbacks or plan):
+                exhausted = True
+                continue
+            budget -= size * want
+            targets = self._pick_targets(live_sids, want, len(plan))
+            plan.append((entry.key, entry.cache_key, entry.home, targets))
+            planned_keys.add(entry.key)
+
+        # 4. Hash-homed records on dead servers with no directory entry:
+        # every copy is lost; re-write onto substitutes. Ascending compact
+        # index — deterministic, and the budget bounds each round.
+        alive_arr = np.asarray(alive, dtype=bool)
+        if not alive_arr.all():
+            homeless = np.flatnonzero(~alive_arr[owner_of])
+            covered = self.directory.by_key
+            for idx in homeless.tolist():
+                key = int(node_ids[idx])
+                if key in covered or key in planned_keys:
+                    continue
+                size = int(sizes[idx])
+                if budget < size * copies and (rewrites or failbacks or plan):
+                    exhausted = True
+                    break
+                budget -= size * copies
+                targets = self._pick_targets(live_sids, copies, len(plan))
+                plan.append((key, idx, int(owner_of[idx]), targets))
+
+        if not plan and not failbacks and not rewrites:
+            return exhausted or bool(self._suspect_writes)
+
+        # Execute: batched per-server legs through the shared write
+        # pipelines (repair traffic contends with queries), directory
+        # flips at the landing instant. Two waves: demand-planned keys
+        # first in their own (small) legs — readers are actively blocked
+        # on them, and batching them into the round's bulk legs would
+        # delay their flip by the whole leg's service time.
+        materialize = service.config.materialize_storage
+        network = service.config.costs.network
+        graph = assets.graph
+        plan_priority = [p for p in plan if p[0] in demand_planned]
+        plan_bulk = [p for p in plan if p[0] not in demand_planned]
+
+        def build_legs(targeted):
+            legs: Dict[int, List[Tuple[int, Optional[bytes]]]] = {}
+            leg_bytes: Dict[int, int] = {}
+            for sid, key, idx in targeted:
+                payload = (
+                    record_for_node(graph, key).encode()
+                    if materialize else None
+                )
+                legs.setdefault(sid, []).append((key, payload))
+                leg_bytes[sid] = leg_bytes.get(sid, 0) + int(sizes[idx])
+            return legs, leg_bytes
+
+        def plan_targets(entries):
+            for key, idx, _home, targets in entries:
+                for sid in targets:
+                    yield sid, key, idx
+
+        def flip_plan(entries, failed):
+            for key, idx, home, targets in entries:
+                if any(sid in failed for sid in targets):
+                    continue
+                had_entry = key in self.directory.by_key
+                self.directory.place(key, idx, home, targets)
+                self._suspect_writes.pop(key, None)  # fresh bytes landed
+                self.repair_records += len(targets)
+                self.repair_bytes += int(sizes[idx]) * len(targets)
+                if not had_entry:
+                    self._failover_keys[key] = home
+
+        failed: List[int] = []
+        bulk_targeted = list(plan_targets(plan_bulk))
+        bulk_targeted.extend(
+            (home, key, idx) for key, idx, home in failbacks
+        )
+        bulk_targeted.extend(
+            (sid, key, idx)
+            for key, idx, holders in rewrites
+            for sid in holders
+        )
+        for wave_targeted, wave_plan in (
+            (list(plan_targets(plan_priority)), plan_priority),
+            (bulk_targeted, plan_bulk),
+        ):
+            if not wave_targeted:
+                continue
+            legs, leg_bytes = build_legs(wave_targeted)
+            pending = [
+                (sid, self.env.process(tier._server_write_process(
+                    tier.servers[sid], entries, leg_bytes[sid], network,
+                )))
+                for sid, entries in legs.items()
+            ]
+            for sid, process in pending:
+                try:
+                    yield process
+                except StorageServerDown:
+                    failed.append(sid)  # died mid-round; next round retries
+            flip_plan(wave_plan, failed)
+
+        for key, idx, holders in rewrites:
+            if any(sid in failed for sid in holders):
+                continue
+            del self._suspect_writes[key]
+            self.repair_records += len(holders)
+            self.repair_bytes += int(sizes[idx]) * len(holders)
+        for key, idx, home in failbacks:
+            if home in failed:
+                continue
+            previous = tier.replica_sids(key)
+            self.directory.drop(key)
+            self._failover_keys.pop(key, None)
+            self._suspect_writes.pop(key, None)  # fresh bytes went home
+            self.failbacks += 1
+            self.repair_records += 1
+            self.repair_bytes += int(sizes[idx])
+            if materialize:
+                for sid in sorted(set(previous) - {home}):
+                    store = tier.servers[sid].store
+                    if key in store:
+                        store.delete(key)
+        return True
+
+    def _pick_targets(
+        self, live_sids: List[int], copies: int, offset: int
+    ) -> Tuple[int, ...]:
+        """``copies`` live servers, rotated by plan position — spreads one
+        round's repair writes across the survivors deterministically."""
+        start = offset % len(live_sids)
+        rotated = live_sids[start:] + live_sids[:start]
+        return tuple(rotated[:copies])
+
+    # -- write-failure accounting ----------------------------------------------
+    @property
+    def tolerates_write_failures(self) -> bool:
+        """Update batches may lose copies to a dead server without raising.
+
+        Any topology-managed cluster absorbs the loss (a static cluster
+        — ``topology=None`` — still raises); only ``failover`` *heals*
+        it: the lost copies become suspects the repair loop re-writes
+        from the authoritative graph. Without failover the write is
+        simply gone — the recovered server serves stale bytes, counted
+        in ``write_failures``."""
+        return True
+
+    def note_write_failure(
+        self, dirty: Optional[Dict[int, int]] = None
+    ) -> None:
+        """Record a tolerated update-write failure. ``dirty`` maps the
+        batch's storage keys to cache keys; all of them become *suspects*
+        (some lost every copy — the error does not say which), re-written
+        from the authoritative graph by the repair loop when ``failover``
+        is on."""
+        self.write_failures += 1
+        if self.config.failover:
+            if dirty:
+                self._suspect_writes.update(dirty)
+            self._ensure_repair()
+
+    # -- observability ----------------------------------------------------------
+    def _record(
+        self, action: str, target: int, moved: int, **extra: object
+    ) -> None:
+        self.epoch += 1
+        self.moved_entries += moved
+        event: Dict[str, object] = {
+            "at": self.env.now,
+            "epoch": self.epoch,
+            "action": action,
+            "target": target,
+            "moved_entries": moved,
+        }
+        event.update(extra)
+        self.events.append(event)
+
+    def warmup_stats(self) -> List[Dict[str, object]]:
+        """Cold-cache warmup accounting per joined processor: how much
+        traffic the joiner absorbed and how warm it got since joining."""
+        processors = self.service.processors
+        return [
+            {
+                "processor": pid,
+                "joined_at": joined_at,
+                "queries_executed": processors[pid].queries_executed,
+                "cache_hit_rate": processors[pid].cache_hit_rate(),
+                "busy_time": processors[pid].busy_time,
+            }
+            for pid, joined_at in sorted(self._joined.items())
+        ]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Topology state + counters for reports/artifacts."""
+        router = self.service.router
+        return {
+            "epoch": self.epoch,
+            "num_processors": router.num_processors,
+            "alive_processors": sum(router.alive_mask()),
+            "num_storage_servers": self.tier.num_servers,
+            "alive_servers": sum(
+                1 for server in self.tier.servers if server.alive
+            ),
+            "moved_entries": self.moved_entries,
+            "repair_rounds": self.repair_rounds,
+            "repair_records": self.repair_records,
+            "repair_bytes": self.repair_bytes,
+            "failbacks": self.failbacks,
+            "demand_repairs": self.demand_repairs,
+            "demand_pending": len(self._demand),
+            "failover_keys": len(self._failover_keys),
+            "suspect_writes": len(self._suspect_writes),
+            "write_failures": self.write_failures,
+            "storage_retries": sum(
+                processor.storage_retries
+                for processor in self.service.processors
+            ),
+            "events": list(self.events),
+            "warmup": self.warmup_stats(),
+        }

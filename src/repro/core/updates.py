@@ -101,12 +101,49 @@ class LiveUpdateManager:
         the same storage pipelines). Validates the whole batch first —
         an inapplicable batch changes nothing anywhere.
         """
+        prepared = self._prepare(updates)
+        if prepared is None:
+            return self._report(0, 0, 0, 0, 0, False, 0.0)
+        updates, dirty_ids, dirty_idx, new_ids = prepared
+        # Timed write path + cache invalidation, then bookkeeping.
+        env = self.service.env
+        started = env.now
+        records, nbytes, invalidated, write_error = env.run(
+            until=env.process(self._write_and_invalidate(dirty_ids, dirty_idx))
+        )
+        return self._finish(
+            updates, dirty_ids, new_ids, records, nbytes, invalidated,
+            write_error, env.now - started,
+        )
+
+    def apply_process(self, updates: Sequence[GraphUpdate]):
+        """Generator twin of :meth:`apply` for callers already *inside* a
+        simulation process (the open-loop arrival driver): :meth:`apply`
+        must own the event loop via ``env.run`` and would deadlock there.
+        Yields through the same write/invalidate path; returns the same
+        :class:`UpdateReport`."""
+        prepared = self._prepare(updates)
+        if prepared is None:
+            return self._report(0, 0, 0, 0, 0, False, 0.0)
+        updates, dirty_ids, dirty_idx, new_ids = prepared
+        env = self.service.env
+        started = env.now
+        records, nbytes, invalidated, write_error = yield from (
+            self._write_and_invalidate(dirty_ids, dirty_idx)
+        )
+        return self._finish(
+            updates, dirty_ids, new_ids, records, nbytes, invalidated,
+            write_error, env.now - started,
+        )
+
+    def _prepare(self, updates: Sequence[GraphUpdate]):
+        """Validate and land the batch in graph + assets (untimed part)."""
         service = self.service
         updates = list(updates)
         assets = service.assets
         if not updates:
             validate_updates(assets.graph, updates)
-            return self._report(0, 0, 0, 0, 0, False, 0.0)
+            return None
         dirty_ids, new_ids = apply_updates(assets.graph, updates)
         dirty_idx = assets.apply_graph_updates(dirty_ids, new_ids)
         # Processors cache the owner array by reference; re-point them at
@@ -114,15 +151,21 @@ class LiveUpdateManager:
         owner_of = assets.owner_array(service.tier.num_servers)
         for processor in service.processors:
             processor.owner_of = owner_of
+        return updates, dirty_ids, dirty_idx, new_ids
 
-        # Timed write path + cache invalidation, then bookkeeping.
-        env = service.env
-        started = env.now
-        records, nbytes, invalidated, write_error = env.run(
-            until=env.process(self._write_and_invalidate(dirty_ids, dirty_idx))
-        )
-        elapsed = env.now - started
-
+    def _finish(
+        self,
+        updates: List[GraphUpdate],
+        dirty_ids: Set[int],
+        new_ids: Sequence[int],
+        records: int,
+        nbytes: int,
+        invalidated: int,
+        write_error: Optional[BaseException],
+        elapsed: float,
+    ) -> UpdateReport:
+        """Bookkeeping after the write path landed (shared by both modes)."""
+        service = self.service
         self.stale.update(dirty_ids)
         self.updates_applied += len(updates)
         self.nodes_added += len(new_ids)
@@ -140,10 +183,23 @@ class LiveUpdateManager:
             # what the surviving servers wrote (every leg runs to
             # completion); only the failed server's log misses its bytes,
             # like any other write lost to the injected failure.
-            # Re-applying the batch would double-apply it; recover the
-            # storage side by re-writing (recover() + a touching batch)
-            # instead.
-            raise write_error
+            topology = service.topology
+            if topology is not None and topology.tolerates_write_failures:
+                # Failover: the repair loop re-writes lost records from
+                # the authoritative graph, so a batch that lost every
+                # copy of some key is counted, not fatal. The whole
+                # batch becomes suspect — the error doesn't say which
+                # keys lost all copies.
+                compact = service.assets.compact
+                topology.note_write_failure({
+                    int(node): int(compact[node])
+                    for node in sorted(dirty_ids)
+                })
+            else:
+                # Re-applying the batch would double-apply it; recover
+                # the storage side by re-writing (recover() + a touching
+                # batch) instead.
+                raise write_error
 
         interval = service.config.update_refresh_interval
         refreshed = False

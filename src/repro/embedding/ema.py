@@ -51,6 +51,19 @@ class ProcessorEMATracker:
     def dim(self) -> int:
         return self.means.shape[1]
 
+    def add_processor(self) -> int:
+        """Append a mean for a processor joining the cluster.
+
+        Deterministic: the joiner starts at the centroid of the existing
+        means — it has routed nothing yet, so the population center is
+        the least-wrong summary, and Eq. 5 pulls the mean onto its real
+        traffic within a few dispatches (the cold-cache warmup the
+        topology layer accounts for). Returns the new processor's index.
+        """
+        centroid = self.means.mean(axis=0)
+        self.means = np.vstack([self.means, centroid[None, :]])
+        return self.num_processors - 1
+
     def update(self, processor: int, coords: np.ndarray) -> None:
         """Eq. 5: mean(p) <- alpha * mean(p) + (1 - alpha) * coords(v)."""
         self.means[processor] = (

@@ -10,7 +10,7 @@ resets accumulated approximation error.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -209,6 +209,65 @@ class LandmarkIndex:
                 if sweep == 0:
                     refreshed += 1
         return refreshed
+
+    def reassign_processors(
+        self, num_processors: int, alive: Sequence[bool]
+    ) -> int:
+        """Rebalance landmark groups across an elastic processing tier.
+
+        A joiner receives an equal share of landmarks (popped from the
+        largest surviving groups); a leaver's landmarks spread over the
+        survivors. The d(u, p) table is recomputed from the stored
+        landmark distances — no BFS re-runs — and only nodes whose
+        nearest *alive* group changed move, which is the bounded-movement
+        property the elastic-topology layer reports. Returns that moved
+        count (over the base table; overlay nodes are recomputed too).
+        """
+        if num_processors < len(self.groups):
+            raise ValueError("processor ids are never reused; the count "
+                             "cannot shrink (removed ones stay dead)")
+        groups = [list(group) for group in self.groups]
+        groups.extend([] for _ in range(num_processors - len(groups)))
+        alive_ids = [p for p in range(num_processors) if alive[p]]
+        if alive_ids:
+            pool: List[int] = []
+            for processor in range(num_processors):
+                if not alive[processor] and groups[processor]:
+                    pool.extend(groups[processor])
+                    groups[processor] = []
+            total = sum(len(group) for group in groups) + len(pool)
+            ceil_share = -(-total // len(alive_ids))
+            for processor in alive_ids:
+                while len(groups[processor]) > ceil_share:
+                    pool.append(groups[processor].pop())
+            for landmark in sorted(pool):
+                target = min(
+                    alive_ids, key=lambda p: (len(groups[p]), p)
+                )
+                groups[target].append(landmark)
+        old_table = self._table
+        table = np.full(
+            (old_table.shape[0], num_processors), np.inf, dtype=np.float32
+        )
+        for processor, group in enumerate(groups):
+            if group:
+                table[:, processor] = self._landmark_dist[group].min(axis=0)
+        padded = np.full_like(table, np.inf)
+        padded[:, : old_table.shape[1]] = old_table
+        masked = table
+        dead = [p for p in range(num_processors) if not alive[p]]
+        if dead:
+            padded[:, dead] = np.inf
+            masked = table.copy()
+            masked[:, dead] = np.inf
+        moved = int(
+            (np.argmin(padded, axis=1) != np.argmin(masked, axis=1)).sum()
+        )
+        self.groups = groups
+        self._table = table
+        for node, vector in self._extra_landmark.items():
+            self._extra_table[node] = self._table_row_from_vector(vector)
+        return moved
 
     def clone(self) -> "LandmarkIndex":
         """Independent copy (shared immutable node ids, copied tables).

@@ -213,6 +213,19 @@ class Process(Event):
     def is_alive(self) -> bool:
         return self._state == PENDING
 
+    @property
+    def failure(self) -> Optional[BaseException]:
+        """The exception that killed this process, if it crashed.
+
+        A process that fails with no waiter stores its exception rather
+        than raising (nothing is positioned to catch it mid-run); callers
+        that own long-lived workers inspect this after a stalled run to
+        re-raise the root cause instead of a generic deadlock error.
+        """
+        if self._state == PENDING:
+            return None
+        return self._exception
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with the triggered event's outcome.
 

@@ -8,7 +8,7 @@ naturally from queueing rather than being assumed.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional, Tuple
 
 from ..costs import StorageServiceModel
 from ..sim import Environment, Resource
@@ -45,6 +45,10 @@ class StorageServer:
         self.writes_served = 0
         self.records_written = 0
         self.bytes_written = 0
+        #: Alive-flag transition log: ``(simulated time, now_alive)`` per
+        #: fail/recover edge. Pure bookkeeping (no simulated effects) —
+        #: feeds the downtime/recovery metrics in per-server reports.
+        self.alive_transitions: List[Tuple[float, bool]] = []
 
     # -- untimed bulk loading (setup happens outside simulated time) -------
     def load(self, key: int, value: bytes) -> None:
@@ -54,10 +58,24 @@ class StorageServer:
     # -- failure injection ---------------------------------------------------
     def fail(self) -> None:
         """Mark the server down; subsequent requests raise."""
-        self.alive = False
+        if self.alive:
+            self.alive = False
+            self.alive_transitions.append((self.env.now, False))
 
     def recover(self) -> None:
-        self.alive = True
+        if not self.alive:
+            self.alive = True
+            self.alive_transitions.append((self.env.now, True))
+
+    def downtime_windows(self) -> List[Tuple[float, Optional[float]]]:
+        """``(down_at, up_at)`` per outage; ``up_at`` is None while down."""
+        windows: List[Tuple[float, Optional[float]]] = []
+        for at, now_alive in self.alive_transitions:
+            if not now_alive:
+                windows.append((at, None))
+            elif windows and windows[-1][1] is None:
+                windows[-1] = (windows[-1][0], at)
+        return windows
 
     # -- timed operations ------------------------------------------------------
     def multiget_process(self, keys: Iterable[int]):

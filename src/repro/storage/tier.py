@@ -68,6 +68,12 @@ class StorageTier:
         # guard on truthiness before consulting the overlay.
         self.directory: Optional[PlacementDirectory] = None
         self.heat: Optional[HeatTracker] = None
+        # Demand-repair hook (see repro.core.topology): called with the
+        # cache keys of a read wave about to hit a dead server, so the
+        # repair loop can re-home exactly what live traffic is blocked
+        # on before its linear scan gets there. None (the default) keeps
+        # the read path bit-identical to the pre-topology tier.
+        self.on_read_failure: Optional[Callable[[List[int]], None]] = None
 
     @property
     def num_servers(self) -> int:

@@ -1,0 +1,297 @@
+"""Storage failover end-to-end: retry-through-outage, repair /
+re-replication, fail-back convergence, downtime metrics, tolerated
+update writes, replica-aware reads under failure, and heterogeneous
+speed profiles."""
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    GraphService,
+    SpeedProfiles,
+    TopologyConfig,
+)
+from repro.core import ChaosEvent, NeighborAggregationQuery
+from repro.core.queries import QueryIdAllocator, query_ids_from
+from repro.costs import ComputeModel, StorageServiceModel
+from repro.graph import Graph, GraphUpdate, ring_of_cliques
+from repro.storage import StorageServerDown, pick_read_replica
+from repro.workloads import poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(8, 5)
+
+
+def _config(**kwargs):
+    defaults = dict(
+        num_processors=3,
+        num_storage_servers=2,
+        routing="hash",
+        cache_capacity_bytes=1 << 20,
+        topology=TopologyConfig(repair_interval_s=5e-5),
+    )
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def _queries(nodes, hops=2):
+    return [NeighborAggregationQuery(node=n, hops=hops) for n in nodes]
+
+
+def _serve_through_outage(graph, config, fail_at=5e-5, recover_at=6e-4):
+    """Open-loop serve across a scheduled outage; returns
+    (service report, topology snapshot)."""
+    with GraphService.open(graph, config) as service:
+        with query_ids_from(QueryIdAllocator(start=4_000_000)):
+            queries = _queries(
+                [n for n in range(80) if graph.has_node(n)] * 2
+            )
+        arrivals = poisson_arrivals(
+            queries, rate=120_000.0, tenant="t", seed=9
+        )
+        service.topology.schedule([
+            ChaosEvent(at=fail_at, action="fail_server", target=0),
+            ChaosEvent(at=recover_at, action="recover_server", target=0),
+        ])
+        with service.session() as session:
+            session.serve(arrivals)
+            report = session.report()
+        return report, service.topology.snapshot()
+
+
+class TestFailover:
+    def test_queries_survive_an_outage(self, graph):
+        report, snap = _serve_through_outage(graph, _config())
+        # Every query completed despite the dead server: a mix of
+        # retry-until-repair and directory-redirected reads.
+        assert len(report.records) == 80
+        assert snap["repair_records"] > 0
+        assert snap["storage_retries"] > 0
+
+    def test_failback_converges_to_hash_placement(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            topology = service.topology
+            with service.session() as session:
+                session.submit_many(_queries(range(10)))
+                session.drain()
+                topology.fail_server(0)
+                # Let repair re-home the dead server's records.
+                service.env.run(until=service.env.now + 2e-3)
+                assert len(topology.directory) > 0
+                assert topology.snapshot()["failover_keys"] > 0
+                topology.recover_server(0)
+                service.env.run(until=service.env.now + 5e-3)
+                # Fail-back drained every exception: pure hash again.
+                assert len(topology.directory) == 0
+                assert topology.snapshot()["failover_keys"] == 0
+                assert topology.failbacks > 0
+                session.submit_many(_queries(range(10, 20)))
+                session.drain()
+
+    def test_no_failover_ablation_surfaces_the_error(self, graph):
+        config = _config(topology=TopologyConfig(failover=False))
+        with pytest.raises(StorageServerDown):
+            _serve_through_outage(graph, config, recover_at=1.0)
+
+    def test_downtime_windows_in_report(self, graph):
+        report, _snap = _serve_through_outage(graph, _config())
+        summary = report.summary()
+        assert summary["storage_outages"] == 1
+        assert summary["storage_recoveries"] == 1
+        assert summary["storage_downtime_s"] == pytest.approx(
+            6e-4 - 5e-5
+        )
+        assert summary["mean_recovery_s"] == pytest.approx(6e-4 - 5e-5)
+        assert report.recovery_times_s() == [pytest.approx(6e-4 - 5e-5)]
+        stats = report.per_server_stats()
+        assert stats[0]["downtime_windows"] == [[5e-5, 6e-4]]
+        assert stats[0]["recovered"] is True
+        assert "downtime_windows" not in stats[1]  # never failed
+
+    def test_repair_respects_byte_budget(self, graph):
+        tiny = _config(topology=TopologyConfig(
+            repair_interval_s=5e-5, repair_byte_budget=64,
+        ))
+        big = _config()
+        with GraphService.open(graph, tiny) as service:
+            service.topology.fail_server(0)
+            service.env.run(until=2e-4)
+            few = service.topology.repair_records
+        with GraphService.open(graph, big) as service:
+            service.topology.fail_server(0)
+            service.env.run(until=2e-4)
+            many = service.topology.repair_records
+        assert 0 < few < many
+
+
+class TestToleratedWrites:
+    def test_update_write_failure_is_counted_not_fatal(self):
+        graph = ring_of_cliques(8, 5)  # private: updates mutate the graph
+        with GraphService.open(graph, _config()) as service:
+            topology = service.topology
+            topology.fail_server(0)
+            # A batch touching the dead server's records: without
+            # failover this raises; with it the loss is counted and
+            # healed by repair once the server returns.
+            report = service.apply_updates(
+                [GraphUpdate(kind="add_edge", u=0, v=7)]
+            )
+            assert report.updates_applied == 1
+            assert topology.write_failures >= 1
+            assert topology.snapshot()["suspect_writes"] > 0
+            topology.recover_server(0)
+            service.env.run(until=service.env.now + 5e-3)
+            assert topology.snapshot()["suspect_writes"] == 0
+
+    def test_without_failover_the_loss_is_counted_but_not_healed(self):
+        graph = ring_of_cliques(8, 5)
+        config = _config(topology=TopologyConfig(failover=False))
+        with GraphService.open(graph, config) as service:
+            topology = service.topology
+            topology.fail_server(0)
+            report = service.apply_updates(
+                [GraphUpdate(kind="add_edge", u=0, v=7)]
+            )
+            assert report.updates_applied == 1
+            assert topology.write_failures >= 1
+            # No repair without failover: nothing becomes a suspect and
+            # the recovered server keeps whatever bytes it had.
+            assert topology.snapshot()["suspect_writes"] == 0
+            topology.recover_server(0)
+            service.env.run(until=service.env.now + 2e-3)
+            assert topology.repair_records == 0
+
+    def test_static_cluster_still_raises_on_write_failure(self):
+        # topology=None keeps the historical contract: a dead server in
+        # the write path is a hard error.
+        graph = ring_of_cliques(8, 5)
+        config = _config(topology=None)
+        with GraphService.open(graph, config) as service:
+            service.tier.servers[0].fail()
+            with pytest.raises(StorageServerDown):
+                service.apply_updates(
+                    [GraphUpdate(kind="add_edge", u=0, v=7)]
+                )
+            service.close(drain=False)
+
+
+class TestReplicaReadsUnderFailure:
+    """Satellite coverage for pick_read_replica's failure paths, driven
+    through a real tier rather than stubs."""
+
+    def test_least_loaded_live_replica_serves_the_read(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            topology = service.topology
+            tier = service.tier
+            key = next(
+                k for k in sorted(graph.nodes())
+                if tier.partitioner(k, tier.num_servers) == 0
+            )
+            idx = int(service.assets.compact[key])
+            topology.directory.place(key, idx, 0, (0, 1))
+            # Both replicas alive: deterministic tie-break = directory
+            # order (server 0 first).
+            assert tier.locate(key).server_id == 0
+            # Kill the first: reads fail over to the live copy.
+            topology.fail_server(0)
+            assert tier.locate(key).server_id == 1
+            # All dead: the first replica surfaces the error.
+            topology.fail_server(1)
+            assert tier.locate(key).server_id == 0
+            with pytest.raises(StorageServerDown):
+                service.env.run(until=service.env.process(
+                    tier.servers[tier.locate(key).server_id]
+                    .serve_process(1, 64)
+                ))
+            service.close(drain=False)
+
+    def test_pick_read_replica_prefers_shorter_pipeline(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            tier = service.tier
+            # Occupy server 0's pipeline so 1 is strictly less loaded.
+            request = tier.servers[0].pipeline.request()
+            assert pick_read_replica((0, 1), tier.servers) == 1
+            tier.servers[0].pipeline.release(request)
+            assert pick_read_replica((0, 1), tier.servers) == 0
+            service.close(drain=False)
+
+
+class TestSpeedProfiles:
+    def test_validation_and_defaults(self):
+        with pytest.raises(ValueError, match="positive"):
+            SpeedProfiles(processors=(0.0,))
+        with pytest.raises(ValueError, match="positive"):
+            StorageServiceModel().scaled(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            ComputeModel().scaled(-1.0)
+        profile = SpeedProfiles(processors=(2.0,), storage=(0.5,))
+        assert profile.processor_speed(0) == 2.0
+        assert profile.processor_speed(5) == 1.0  # beyond the tuple
+        assert profile.storage_speed(0) == 0.5
+        assert profile.storage_speed(3) == 1.0
+
+    def test_scaled_models_divide_costs(self):
+        storage = StorageServiceModel().scaled(2.0)
+        assert storage.per_key == StorageServiceModel().per_key / 2.0
+        assert storage.write_per_byte == (
+            StorageServiceModel().write_per_byte / 2.0
+        )
+        compute = ComputeModel().scaled(4.0)
+        assert compute.per_node == ComputeModel().per_node / 4.0
+        assert StorageServiceModel().scaled(1.0) is not None
+
+    def test_service_applies_profiles(self, graph):
+        profile = SpeedProfiles(processors=(1.0, 3.0), storage=(1.0, 2.0))
+        config = ClusterConfig(
+            num_processors=2, num_storage_servers=2, routing="hash",
+            cache_capacity_bytes=1 << 20, speed_profiles=profile,
+        )
+        with GraphService.open(graph, config) as service:
+            assert service.processors[0].costs.compute.per_node == (
+                ComputeModel().per_node
+            )
+            assert service.processors[1].costs.compute.per_node == (
+                ComputeModel().per_node / 3.0
+            )
+            assert service.tier.servers[1].service.per_key == (
+                config.costs.storage.per_key / 2.0
+            )
+
+    def test_fast_processor_absorbs_more_next_ready_traffic(self, graph):
+        def executed(profile):
+            config = ClusterConfig(
+                num_processors=2, num_storage_servers=2,
+                routing="next_ready", cache_capacity_bytes=1 << 20,
+                speed_profiles=profile,
+            )
+            with GraphService.open(graph, config) as service:
+                with service.session() as session:
+                    session.submit_many(_queries(
+                        [n for n in range(200) if graph.has_node(n)],
+                        hops=3,
+                    ))
+                    session.drain()
+                return [p.queries_executed for p in service.processors]
+
+        fair = executed(None)
+        skewed = executed(SpeedProfiles(processors=(1.0, 8.0)))
+        # Homogeneous hardware splits roughly evenly; an 8x-faster
+        # second processor acks faster and wins more dispatches.
+        assert abs(fair[0] - fair[1]) < abs(skewed[0] - skewed[1])
+        assert skewed[1] > skewed[0]
+
+    def test_joiner_inherits_its_profile_speed(self, graph):
+        profile = SpeedProfiles(processors=(1.0, 1.0, 1.0, 5.0))
+        config = _config(speed_profiles=profile)
+        with GraphService.open(graph, config) as service:
+            pid = service.topology.add_processor()
+            assert pid == 3
+            assert service.processors[3].costs.compute.per_node == (
+                ComputeModel().per_node / 5.0
+            )
+            explicit = service.topology.add_processor(speed=2.0)
+            assert service.processors[explicit].costs.compute.per_node == (
+                ComputeModel().per_node / 2.0
+            )

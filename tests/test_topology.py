@@ -1,0 +1,355 @@
+"""Elastic cluster topology: membership epochs, bounded-movement
+rebalancing, join/leave mid-session, chaos schedules, inert-topology
+parity, and property-based totality/replay invariants."""
+
+import pytest
+
+from repro import ClusterConfig, GraphService, TopologyConfig
+from repro.core import ChaosEvent, NeighborAggregationQuery
+from repro.core.queries import QueryIdAllocator, query_ids_from
+from repro.core.routing import HashRouting
+from repro.core.topology import CHAOS_ACTIONS
+from repro.graph import Graph, ring_of_cliques
+from repro.workloads import poisson_arrivals, shifting_hotspot_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(8, 5)
+
+
+def _config(routing="hash", **kwargs):
+    defaults = dict(
+        num_processors=3,
+        num_storage_servers=2,
+        cache_capacity_bytes=1 << 20,
+        num_landmarks=6,
+        min_separation=1,
+        dim=3,
+        embed_method="lmds",
+        topology=TopologyConfig(),
+    )
+    defaults.update(kwargs)
+    return ClusterConfig(routing=routing, **defaults)
+
+
+def _queries(nodes, hops=2):
+    return [NeighborAggregationQuery(node=n, hops=hops) for n in nodes]
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing
+# ---------------------------------------------------------------------------
+
+class TestConfig:
+    def test_chaos_event_validation(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosEvent(at=0.0, action="explode", target=0)
+        with pytest.raises(ValueError, match="needs a target"):
+            ChaosEvent(at=0.0, action="fail_server")
+        with pytest.raises(ValueError, match="non-negative"):
+            ChaosEvent(at=-1.0, action="add_processor")
+        for action in CHAOS_ACTIONS:
+            ChaosEvent(at=0.0, action=action, target=0)
+
+    def test_topology_is_structural(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            with pytest.raises(ValueError, match="structural"):
+                service.set_routing(topology=None)
+            with pytest.raises(ValueError, match="structural"):
+                service.set_routing(speed_profiles=None)
+
+    def test_no_topology_by_default(self, graph):
+        with GraphService.open(graph, ClusterConfig(
+            num_processors=2, num_storage_servers=2, routing="hash",
+        )) as service:
+            assert service.topology is None
+            assert service.tier.directory is None
+
+
+# ---------------------------------------------------------------------------
+# Join / leave through the topology layer
+# ---------------------------------------------------------------------------
+
+class TestMembership:
+    def test_join_adds_dense_id_and_serves_traffic(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            topology = service.topology
+            with service.session() as session:
+                session.submit_many(_queries(range(10)))
+                session.drain()
+                pid = topology.add_processor()
+                assert pid == 3
+                assert service.router.num_processors == 4
+                assert topology.epoch == 1
+                session.submit_many(_queries(range(40)))
+                session.drain()
+                report = session.report()
+            by_processor = report.per_processor_counts()
+            assert by_processor.get(3, 0) > 0  # the joiner earns traffic
+            warmup = topology.warmup_stats()
+            assert warmup[0]["processor"] == 3
+            assert warmup[0]["queries_executed"] == by_processor[3]
+            # The report reflects the live membership, not the config.
+            assert report.num_processors == 4
+
+    def test_join_moves_bounded_hash_share(self, graph):
+        with GraphService.open(graph, _config(routing="hash")) as service:
+            topology = service.topology
+            strategy = service.strategy
+            assert isinstance(strategy, HashRouting)
+            before = list(strategy.owner_table())
+            topology.add_processor()
+            after = strategy.owner_table()
+            moved = sum(1 for a, b in zip(before, after) if a != b)
+            # A joiner takes ~1/(P+1) of the slots and nothing else moves.
+            assert moved == topology.moved_entries
+            assert 0 < moved <= -(-len(after) // 4) + 3
+            assert sorted(set(after)) == [0, 1, 2, 3]
+
+    def test_leave_reassigns_only_the_leaver(self, graph):
+        with GraphService.open(graph, _config(routing="hash")) as service:
+            topology = service.topology
+            strategy = service.strategy
+            before = list(strategy.owner_table())
+            topology.remove_processor(1)
+            after = strategy.owner_table()
+            assert all(owner != 1 for owner in after)
+            # Only the leaver's slots moved.
+            assert all(
+                a == b for a, b in zip(before, after) if a != 1
+            )
+            assert topology.epoch == 1
+            assert topology.events[0]["action"] == "remove_processor"
+
+    def test_leave_requeues_backlog_to_survivors(self, graph):
+        with GraphService.open(
+            graph, _config(routing="hash", steal=False)
+        ) as service:
+            topology = service.topology
+            router = service.router
+            with service.session() as session:
+                nodes = [n for n in range(0, 30, 3) if graph.has_node(n)]
+                session.submit_many(_queries(nodes))  # hash -> processor 0
+                requeued = topology.remove_processor(0)
+                assert requeued == topology.events[0]["requeued"]
+                session.drain()
+                report = session.report()
+            finished_by_0 = [r for r in report.records if r.processor == 0]
+            assert len(finished_by_0) <= 1  # at most its in-flight query
+            assert len(report.records) == len(nodes)
+
+    def test_removing_last_alive_processor_with_backlog_refuses(self, graph):
+        with GraphService.open(
+            graph, _config(routing="hash", steal=False)
+        ) as service:
+            topology = service.topology
+            topology.remove_processor(1)
+            topology.remove_processor(2)
+            with service.session() as session:
+                session.submit_many(_queries(range(5)))
+                # Queued + pooled work would strand with nobody left.
+                with pytest.raises(RuntimeError, match="last alive"):
+                    topology.remove_processor(0)
+                session.drain()
+                # Drained: the same removal is now legal.
+                topology.remove_processor(0)
+                assert sum(service.router.alive_mask()) == 0
+            assert topology.epoch == 3
+
+    def test_session_survives_join_and_leave_mid_serve(self, graph):
+        # Membership changes while an open-loop serve is in flight: the
+        # chaos schedule joins one processor and removes another while
+        # arrivals keep landing; every query completes exactly once.
+        with GraphService.open(graph, _config(routing="hash")) as service:
+            with query_ids_from(QueryIdAllocator(start=7_500_000)):
+                queries = _queries([n for n in range(40) if graph.has_node(n)])
+            arrivals = poisson_arrivals(
+                queries, rate=150_000.0, tenant="t", seed=5
+            )
+            service.topology.schedule([
+                ChaosEvent(at=5e-5, action="add_processor"),
+                ChaosEvent(at=1e-4, action="remove_processor", target=0),
+            ])
+            with service.session() as session:
+                session.serve(arrivals)
+                report = session.report()
+            assert len(report.records) == len(queries)
+            assert len({r.query_id for r in report.records}) == len(queries)
+            assert service.topology.epoch == 2
+
+    def test_adaptive_arm_state_survives_membership_change(self, graph):
+        config = _config(
+            routing="adaptive", adaptive_arms=("hash", "embed"),
+            adaptive_epoch=8,
+        )
+        with GraphService.open(graph, config) as service:
+            with service.session() as session:
+                session.submit_many(_queries(range(30)))
+                session.drain()
+                strategy = service.strategy
+                state_before = strategy.export_state()
+                service.topology.add_processor()
+                # Learned per-(class, arm) state is keyed by arm name and
+                # survives the rebalance untouched.
+                state_after = strategy.export_state()
+                assert state_after["score_ewma"] == state_before["score_ewma"]
+                assert state_after["pulls"] == state_before["pulls"]
+                assert state_after["committed"] == state_before["committed"]
+                session.submit_many(_queries(
+                    n for n in range(30, 60) if graph.has_node(n)
+                ))
+                session.drain()
+
+
+# ---------------------------------------------------------------------------
+# Inert-topology parity (the bit-identical guardrail)
+# ---------------------------------------------------------------------------
+
+class TestInertTopologyParity:
+    @staticmethod
+    def _run(graph, topology):
+        config = _config(routing="embed", topology=topology)
+        with query_ids_from(QueryIdAllocator(start=9_500_000)):
+            queries = shifting_hotspot_workload(
+                graph, num_phases=2, queries_per_phase=40, radius=1,
+                hops=2, seed=3,
+            )
+        with GraphService.open(graph, config) as service:
+            if service.topology is not None:
+                service.topology.schedule([])  # empty schedule: no process
+            with service.session() as session:
+                session.stream(queries)
+                session.drain()
+                return session.report()
+
+    def test_idle_topology_is_bit_identical_to_none(self, graph):
+        plain = self._run(graph, None)
+        idle = self._run(graph, TopologyConfig())
+
+        def key(r):
+            return (r.query_id, r.processor, r.decision_time, r.enqueued_at,
+                    r.started_at, r.finished_at, r.stats.cache_hits,
+                    r.stats.cache_misses, r.stats.bytes_fetched,
+                    r.stats.storage_requests, r.stats.result)
+
+        assert [key(r) for r in plain.records] == [
+            key(r) for r in idle.records
+        ]
+
+    def test_idle_topology_summary_has_no_downtime_keys(self, graph):
+        summary = self._run(graph, TopologyConfig()).summary()
+        assert "storage_downtime_s" not in summary
+        assert "storage_outages" not in summary
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random interleavings keep the tables total & replayable
+# ---------------------------------------------------------------------------
+
+class TestMembershipProperties:
+    @staticmethod
+    def _chaos_walk(seed):
+        """One deterministic random interleaving of membership ops plus
+        traffic; returns (record keys, epoch, owner tables per epoch)."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        graph = ring_of_cliques(6, 4)
+        config = _config(routing="hash", num_processors=3)
+        tables = []
+        with GraphService.open(graph, config) as service:
+            topology = service.topology
+            router = service.router
+            with query_ids_from(QueryIdAllocator(start=1_000_000)):
+                waves = [
+                    _queries([int(n) for n in rng.integers(0, 24, size=6)])
+                    for _ in range(8)
+                ]
+            with service.session() as session:
+                for wave in waves:
+                    op = int(rng.integers(0, 4))
+                    alive = router.alive_mask()
+                    if op == 0 and sum(alive) >= 2:
+                        victims = [
+                            p for p, up in enumerate(alive) if up
+                        ]
+                        topology.remove_processor(
+                            victims[int(rng.integers(0, len(victims)))]
+                        )
+                    elif op == 1 and router.num_processors < 6:
+                        topology.add_processor()
+                    elif op == 2:
+                        topology.fail_server(
+                            int(rng.integers(0, service.tier.num_servers))
+                        )
+                    else:
+                        for server in service.tier.servers:
+                            if not server.alive:
+                                topology.recover_server(server.server_id)
+                                break
+                    strategy = service.strategy
+                    tables.append(
+                        (topology.epoch, list(strategy.owner_table()))
+                    )
+                    session.submit_many(wave)
+                    session.drain()
+                report = session.report()
+            keys = [
+                (r.query_id, r.processor, r.started_at, r.finished_at)
+                for r in report.records
+            ]
+            return keys, topology.epoch, tables, router.alive_mask()
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_interleavings_keep_totality_and_replay(self, seed):
+        keys, epoch, tables, alive = self._chaos_walk(seed)
+        # Totality: after every step, each slot names exactly one
+        # processor, and the final table routes only to alive ones.
+        for _epoch, table in tables:
+            assert all(isinstance(owner, int) for owner in table)
+        final_alive = {p for p, up in enumerate(alive) if up}
+        assert set(tables[-1][1]) <= final_alive
+        # Determinism: the identical walk replays bit-identically.
+        keys2, epoch2, tables2, alive2 = self._chaos_walk(seed)
+        assert keys == keys2
+        assert epoch == epoch2
+        assert tables == tables2
+        assert alive == alive2
+
+
+# ---------------------------------------------------------------------------
+# Chaos schedules
+# ---------------------------------------------------------------------------
+
+class TestChaosSchedule:
+    def test_events_fire_at_their_instants(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            topology = service.topology
+            topology.schedule([
+                ChaosEvent(at=2e-4, action="fail_server", target=0),
+                ChaosEvent(at=5e-4, action="recover_server", target=0),
+                ChaosEvent(at=6e-4, action="add_processor"),
+            ])
+            service.env.run(until=1e-3)
+            recorded = [
+                (e["action"], e["at"]) for e in topology.events
+            ]
+            assert recorded == [
+                ("fail_server", 2e-4),
+                ("recover_server", 5e-4),
+                ("add_processor", 6e-4),
+            ]
+            assert topology.epoch == 3
+            windows = service.tier.servers[0].downtime_windows()
+            assert windows == [(2e-4, 5e-4)]
+
+    def test_redundant_fail_and_recover_are_idempotent(self, graph):
+        with GraphService.open(graph, _config()) as service:
+            topology = service.topology
+            topology.fail_server(0)
+            topology.fail_server(0)   # no-op
+            topology.recover_server(0)
+            topology.recover_server(0)  # no-op
+            assert topology.epoch == 2
+            assert len(topology.events) == 2
